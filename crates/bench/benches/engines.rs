@@ -1,0 +1,37 @@
+//! Criterion companion to Figure 5: per-slide latency of each engine at a
+//! fixed batch size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dppr_bench::{build_engine, time_slides, EngineKind, Workload};
+use dppr_core::PushVariant;
+use dppr_graph::presets;
+
+fn bench_engines(c: &mut Criterion) {
+    let workload = Workload::prepare(presets::small_sim(), 2, 0.1, 1_000);
+    let eps = 1e-5;
+    let batch = 500usize;
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    for kind in [
+        EngineKind::CpuSeq,
+        EngineKind::CpuMt(PushVariant::OPT),
+        EngineKind::Ligra,
+        EngineKind::MonteCarlo { walks_per_vertex: 2 },
+    ] {
+        let cfg = workload.config(eps);
+        group.bench_function(kind.label(), |b| {
+            b.iter_custom(|iters| {
+                time_slides(
+                    || build_engine(kind, cfg, workload.num_vertices, 2),
+                    &workload,
+                    batch,
+                    iters,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 4: per-slide latency of the four parallel
+//! push variants (Table 3) plus the two sequential baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dppr_bench::{build_engine, time_slides, EngineKind, Workload};
+use dppr_core::PushVariant;
+use dppr_graph::presets;
+
+fn bench_push_variants(c: &mut Criterion) {
+    let workload = Workload::prepare(presets::small_sim(), 1, 0.1, 1_000);
+    let eps = 1e-5;
+    let batch = 1_000usize;
+    let mut group = c.benchmark_group("push_variants");
+    group.sample_size(10);
+    for variant in PushVariant::ALL {
+        let cfg = workload.config(eps);
+        group.bench_function(variant.name(), |b| {
+            b.iter_custom(|iters| {
+                time_slides(
+                    || build_engine(EngineKind::CpuMt(variant), cfg, workload.num_vertices, 1),
+                    &workload,
+                    batch,
+                    iters,
+                )
+            })
+        });
+    }
+    let cfg = workload.config(eps);
+    group.bench_function("CPU-Seq", |b| {
+        b.iter_custom(|iters| {
+            time_slides(
+                || build_engine(EngineKind::CpuSeq, cfg, workload.num_vertices, 1),
+                &workload,
+                batch,
+                iters,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_variants);
+criterion_main!(benches);

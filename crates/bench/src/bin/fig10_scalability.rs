@@ -1,0 +1,64 @@
+//! Figure 10 — multi-core scalability.
+//!
+//! Runs `CPU-MT[Opt]` on dedicated rayon pools of growing size and reports
+//! throughput and speedup over one worker. Paper's shape: throughput
+//! scales with the core count (sub-linearly — the push is memory-bound).
+//!
+//! Usage: `fig10_scalability [--full]`
+
+use dppr_bench::{ExperimentScale, Workload};
+use dppr_core::{ParallelEngine, PushVariant};
+use dppr_graph::presets;
+use std::time::Duration;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    // Scale note: thread scaling needs per-iteration frontiers well past
+    // the granularity threshold, which the small presets cannot produce
+    // (their whole vertex set is a few thousand). Quick uses the
+    // 100k-vertex preset; Full uses the DRAM-resident 16M-arc preset,
+    // the regime the paper's graphs live in.
+    let (ds, batch, budget) = match scale {
+        ExperimentScale::Quick => (presets::lj_sim(), 10_000, Duration::from_secs(4)),
+        ExperimentScale::Full => (presets::big_sim(), 50_000, Duration::from_secs(30)),
+    };
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let mut threads = vec![1usize, 2, 4, 8, 16];
+    threads.retain(|&t| t <= max_threads);
+    if !threads.contains(&max_threads) {
+        threads.push(max_threads);
+    }
+    // ε a notch below the default so frontiers are large enough to feed
+    // all cores.
+    let eps = ds.default_epsilon * 0.1;
+    let workload = Workload::prepare(ds, 7, 0.1, 10);
+    println!(
+        "# Figure 10: scalability of CPU-MT[Opt] ({} | batch {batch} | ε {:.0e})",
+        workload.name, eps
+    );
+    println!("threads\tslides\tupdates_per_sec\tspeedup_vs_1");
+    let mut base: Option<f64> = None;
+    for &t in &threads {
+        let cfg = workload.config(eps);
+        let mut engine = ParallelEngine::with_threads(cfg, PushVariant::OPT, t);
+        let mut driver = workload.driver(0.1);
+        driver.bootstrap(&mut engine);
+        let mut slides = 0usize;
+        let mut updates = 0usize;
+        let mut latency = Duration::ZERO;
+        while latency < budget {
+            let part = driver.run_slides(&mut engine, batch, 1);
+            if part.slides == 0 {
+                break;
+            }
+            slides += part.slides;
+            updates += part.total_updates;
+            latency += part.total_latency;
+        }
+        let tput = updates as f64 / latency.as_secs_f64().max(1e-9);
+        let b = *base.get_or_insert(tput);
+        println!("{t}\t{slides}\t{tput:.0}\t{:.2}", tput / b);
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external deps).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsing or validation error with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Convenience constructor.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command line: a subcommand, `--key value` options, and bare
+/// `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The first positional token (subcommand).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (excluding the program name). Tokens starting with
+    /// `--` are options if followed by a non-`--` token, flags otherwise;
+    /// the first bare token is the subcommand.
+    pub fn parse<I, S>(argv: I) -> Result<Args, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = argv.into_iter().map(Into::into).collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(err("bare `--` is not a valid option"));
+                }
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.options.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                if !args.command.is_empty() {
+                    return Err(err(format!("unexpected positional argument {t:?}")));
+                }
+                args.command = t.clone();
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| err(format!("missing required option --{key}")))
+    }
+
+    /// Typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| err(format!("invalid value for --{key}: {raw:?}"))),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_options_and_flags() {
+        let a = Args::parse(["run", "--batch", "100", "--full", "--eps", "1e-5"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("batch"), Some("100"));
+        assert_eq!(a.get("eps"), Some("1e-5"));
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn typed_access() {
+        let a = Args::parse(["x", "--k", "42"]).unwrap();
+        assert_eq!(a.get_parsed("k", 0usize).unwrap(), 42);
+        assert_eq!(a.get_parsed("missing", 7usize).unwrap(), 7);
+        assert!(Args::parse(["x", "--k", "nope"])
+            .unwrap()
+            .get_parsed::<usize>("k", 0)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_double_positional() {
+        assert!(Args::parse(["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(["x"]).unwrap();
+        assert!(a.require("graph").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // A value may not start with `--`; plain negatives are fine.
+        let a = Args::parse(["x", "--delta", "-5"]).unwrap();
+        assert_eq!(a.get("delta"), Some("-5"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Subcommand implementations. All return the text to print.
+
+use crate::args::{err, Args, CliError};
+use dppr_core::{
+    exact_ppr, queries, DynamicPprEngine, ParallelEngine, PprConfig, PushVariant, SeqEngine,
+    UpdateMode,
+};
+use dppr_graph::{generators, io, presets, DynamicGraph, GraphStream, VertexId};
+use dppr_mc::MonteCarloEngine;
+use dppr_stream::{pick_top_degree_source, StreamDriver};
+use dppr_vc::LigraEngine;
+use std::fmt::Write as _;
+
+/// `dppr generate` — write a synthetic edge list.
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    let model = args.get_or("model", "ba");
+    let n: u32 = args.get_parsed("n", 10_000u32)?;
+    let m: usize = args.get_parsed("m", 5usize)?;
+    let seed: u64 = args.get_parsed("seed", 1u64)?;
+    let out = args.require("out")?;
+    let (edges, desc) = match model {
+        "ba" => (
+            generators::undirected_to_directed(&generators::barabasi_albert(n, m, seed)),
+            format!("barabasi-albert n={n} m={m} seed={seed} (directed arcs)"),
+        ),
+        "er" => (
+            generators::erdos_renyi(n, m, seed),
+            format!("erdos-renyi n={n} m={m} seed={seed}"),
+        ),
+        "rmat" => {
+            let scale = (32 - n.next_power_of_two().leading_zeros() - 1).max(1);
+            (
+                generators::rmat(scale, m, generators::RmatParams::default(), seed),
+                format!("rmat scale={scale} m={m} seed={seed}"),
+            )
+        }
+        other => return Err(err(format!("unknown model {other:?} (ba|er|rmat)"))),
+    };
+    io::write_edge_list(out, &edges, &desc)
+        .map_err(|e| err(format!("writing {out}: {e}")))?;
+    Ok(format!("wrote {} arcs to {out} ({desc})\n", edges.len()))
+}
+
+/// (edges, undirected?, display name) triple loaded by `load_edges`.
+type LoadedGraph = (Vec<(u32, u32)>, bool, String);
+
+/// Loads a graph source shared by `info`, `query`, `exact`.
+fn load_edges(args: &Args) -> Result<LoadedGraph, CliError> {
+    if let Some(name) = args.get("preset") {
+        let ds = presets::by_name(name)
+            .ok_or_else(|| err(format!("unknown preset {name:?}")))?;
+        let undirected = ds.undirected;
+        Ok((ds.edges, undirected, name.to_string()))
+    } else if let Some(path) = args.get("graph") {
+        let edges =
+            io::read_edge_list(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+        Ok((edges, args.flag("undirected"), path.to_string()))
+    } else {
+        Err(err("need --preset NAME or --graph FILE"))
+    }
+}
+
+fn materialize(edges: &[(u32, u32)], undirected: bool) -> DynamicGraph {
+    let mut g = DynamicGraph::new();
+    for &(u, v) in edges {
+        g.insert_edge(u, v);
+        if undirected {
+            g.insert_edge(v, u);
+        }
+    }
+    g
+}
+
+/// `dppr info` — graph statistics including degree-distribution shape.
+pub fn info(args: &Args) -> Result<String, CliError> {
+    let (edges, undirected, name) = load_edges(args)?;
+    let g = materialize(&edges, undirected);
+    let mut out = String::new();
+    writeln!(out, "graph\t{name}").unwrap();
+    writeln!(out, "active_vertices\t{}", g.active_vertices()).unwrap();
+    write!(out, "{}", dppr_graph::stats::degree_stats(&g)).unwrap();
+    Ok(out)
+}
+
+fn parse_variant(raw: &str) -> Result<PushVariant, CliError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "opt" => Ok(PushVariant::OPT),
+        "eager" => Ok(PushVariant::EAGER),
+        "dupdetect" | "dup-detect" => Ok(PushVariant::DUP_DETECT),
+        "vanilla" => Ok(PushVariant::VANILLA),
+        other => Err(err(format!("unknown variant {other:?}"))),
+    }
+}
+
+/// `dppr run` — sliding-window streaming through a chosen engine.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let (edges, undirected, name) = load_edges(args)?;
+    let seed: u64 = args.get_parsed("seed", 1u64)?;
+    let alpha: f64 = args.get_parsed("alpha", 0.15f64)?;
+    let epsilon: f64 = args.get_parsed("epsilon", 1e-5f64)?;
+    let batch: usize = args.get_parsed("batch", 1_000usize)?;
+    let slides: usize = args.get_parsed("slides", 10usize)?;
+
+    let stream = if undirected {
+        GraphStream::undirected(edges)
+    } else {
+        GraphStream::directed(edges)
+    }
+    .permuted(seed);
+
+    // Source: explicit id, or drawn from a top-degree bucket of the warmed
+    // window (the paper's methodology).
+    let source: VertexId = if let Some(raw) = args.get("source") {
+        raw.parse().map_err(|_| err(format!("bad --source {raw:?}")))?
+    } else {
+        let bucket: usize = args.get_parsed("top-bucket", 1_000usize)?;
+        let window = dppr_graph::SlidingWindow::new(stream.clone(), 0.1);
+        let mut probe = DynamicGraph::new();
+        for upd in window.initial_updates() {
+            probe.apply(upd);
+        }
+        pick_top_degree_source(&probe, bucket, seed ^ 0xABCD)
+    };
+    let cfg = PprConfig::new(source, alpha, epsilon);
+
+    let engine_name = args.get_or("engine", "cpu-mt");
+    let mut engine: Box<dyn DynamicPprEngine> = match engine_name {
+        "cpu-base" => Box::new(SeqEngine::new(cfg, UpdateMode::PerUpdate)),
+        "cpu-seq" => Box::new(SeqEngine::new(cfg, UpdateMode::Batched)),
+        "cpu-mt" => {
+            let variant = parse_variant(args.get_or("variant", "opt"))?;
+            let threads: usize = args.get_parsed("threads", 0usize)?;
+            if threads > 0 {
+                Box::new(ParallelEngine::with_threads(cfg, variant, threads))
+            } else {
+                Box::new(ParallelEngine::new(cfg, variant))
+            }
+        }
+        "ligra" => Box::new(LigraEngine::new(cfg)),
+        "mc" => {
+            let wpv: usize = args.get_parsed("walks-per-vertex", 6usize)?;
+            let n = stream.vertex_bound();
+            Box::new(MonteCarloEngine::new(cfg, (wpv * n).max(1_000), seed))
+        }
+        other => return Err(err(format!("unknown engine {other:?}"))),
+    };
+
+    let mut driver = StreamDriver::new(stream, 0.1);
+    let boot = driver.bootstrap(engine.as_mut());
+    let summary = driver.run_slides(engine.as_mut(), batch, slides);
+
+    let mut out = String::new();
+    writeln!(out, "graph\t{name}\nengine\t{}", engine.name()).unwrap();
+    writeln!(out, "source\t{source}\nalpha\t{alpha}\nepsilon\t{epsilon:e}").unwrap();
+    writeln!(
+        out,
+        "bootstrap_arcs\t{}\nbootstrap_ms\t{:.2}",
+        boot.applied,
+        boot.latency.as_secs_f64() * 1e3
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "slides\t{}\nbatch\t{batch}\nmean_slide_ms\t{:.3}\nmax_slide_ms\t{:.3}\nupdates_per_sec\t{:.0}",
+        summary.slides,
+        summary.mean_latency().as_secs_f64() * 1e3,
+        summary.max_latency().as_secs_f64() * 1e3,
+        summary.throughput(),
+    )
+    .unwrap();
+    if args.flag("counters") {
+        writeln!(out, "counters\t{}", summary.total_counters()).unwrap();
+    }
+    let top: usize = args.get_parsed("top", 10usize)?;
+    writeln!(out, "top_{top}_by_ppr").unwrap();
+    let scores = engine.estimates();
+    for (v, p) in dppr_core::multi::top_k_of(&scores, top) {
+        writeln!(out, "  {v}\t{p:.8}").unwrap();
+    }
+    Ok(out)
+}
+
+/// `dppr query` — maintain over the whole graph, then answer ε-aware
+/// queries.
+pub fn query(args: &Args) -> Result<String, CliError> {
+    let (edges, undirected, name) = load_edges(args)?;
+    let source: VertexId = args.get_parsed("source", 0u32)?;
+    let alpha: f64 = args.get_parsed("alpha", 0.15f64)?;
+    let epsilon: f64 = args.get_parsed("epsilon", 1e-5f64)?;
+    let cfg = PprConfig::new(source, alpha, epsilon);
+    let mut engine = ParallelEngine::new(cfg, PushVariant::OPT);
+    let mut g = DynamicGraph::new();
+    let mut batch = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in &edges {
+        batch.push(dppr_graph::EdgeUpdate::insert(u, v));
+        if undirected {
+            batch.push(dppr_graph::EdgeUpdate::insert(v, u));
+        }
+    }
+    engine.apply_batch(&mut g, &batch);
+
+    let mut out = String::new();
+    writeln!(out, "graph\t{name}\nsource\t{source}\nepsilon\t{epsilon:e}").unwrap();
+    let k: usize = args.get_parsed("top", 10usize)?;
+    let ans = queries::top_k(engine.state(), k);
+    writeln!(
+        out,
+        "top_{k} (set_is_certain={})\nvertex\testimate\tlo\thi",
+        ans.set_is_certain
+    )
+    .unwrap();
+    for b in &ans.ranking {
+        writeln!(out, "{}\t{:.8}\t{:.8}\t{:.8}", b.vertex, b.estimate, b.lo, b.hi).unwrap();
+    }
+    if let Some(raw) = args.get("threshold") {
+        let delta: f64 = raw.parse().map_err(|_| err(format!("bad --threshold {raw:?}")))?;
+        let t = queries::above_threshold(engine.state(), delta);
+        writeln!(
+            out,
+            "threshold_{delta}: {} certain, {} possible",
+            t.certain.len(),
+            t.possible.len()
+        )
+        .unwrap();
+    }
+    if let Some(path) = args.get("save-state") {
+        dppr_core::persist::save_state(engine.state(), path)
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        writeln!(out, "state_saved\t{path}").unwrap();
+    }
+    Ok(out)
+}
+
+/// `dppr exact` — Gauss–Jacobi ground truth.
+pub fn exact(args: &Args) -> Result<String, CliError> {
+    let (edges, undirected, name) = load_edges(args)?;
+    let source: VertexId = args.get_parsed("source", 0u32)?;
+    let alpha: f64 = args.get_parsed("alpha", 0.15f64)?;
+    let g = materialize(&edges, undirected);
+    let p = exact_ppr(&g, source, alpha, 1e-12);
+    let k: usize = args.get_parsed("top", 10usize)?;
+    let mut out = String::new();
+    writeln!(out, "graph\t{name}\nsource\t{source}\nalpha\t{alpha}").unwrap();
+    for (v, score) in dppr_core::multi::top_k_of(&p, k) {
+        writeln!(out, "{v}\t{score:.10}").unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dppr_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_info_roundtrip() {
+        let path = tmpfile("gen_ba.txt");
+        let a = Args::parse([
+            "generate", "--model", "ba", "--n", "200", "--m", "3", "--seed", "5", "--out",
+            &path,
+        ])
+        .unwrap();
+        let msg = generate(&a).unwrap();
+        assert!(msg.contains("arcs"));
+        let a = Args::parse(["info", "--graph", &path]).unwrap();
+        let report = info(&a).unwrap();
+        assert!(report.contains("vertices\t200"));
+        assert!(report.contains("mean_out_degree"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_model() {
+        let path = tmpfile("never.txt");
+        let a =
+            Args::parse(["generate", "--model", "tree", "--out", &path]).unwrap();
+        assert!(generate(&a).is_err());
+    }
+
+    #[test]
+    fn run_on_preset_smoke() {
+        let a = Args::parse([
+            "run", "--preset", "toy", "--engine", "cpu-mt", "--variant", "opt", "--batch",
+            "50", "--slides", "3", "--epsilon", "1e-4", "--counters",
+        ])
+        .unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("engine\tCPU-MT[Opt]"));
+        assert!(out.contains("slides\t3"));
+        assert!(out.contains("counters\t"));
+        assert!(out.contains("top_10_by_ppr"));
+    }
+
+    #[test]
+    fn run_each_engine_kind() {
+        for (engine, expect) in [
+            ("cpu-base", "CPU-Base"),
+            ("cpu-seq", "CPU-Seq"),
+            ("ligra", "Ligra"),
+            ("mc", "Monte-Carlo"),
+        ] {
+            let a = Args::parse([
+                "run", "--preset", "toy", "--engine", engine, "--batch", "50", "--slides",
+                "2", "--epsilon", "1e-3", "--walks-per-vertex", "1",
+            ])
+            .unwrap();
+            let out = run(&a).unwrap();
+            assert!(out.contains(expect), "engine {engine}");
+        }
+    }
+
+    #[test]
+    fn query_reports_bounds_and_threshold() {
+        let a = Args::parse([
+            "query", "--preset", "toy", "--source", "0", "--epsilon", "1e-4", "--top", "5",
+            "--threshold", "0.01",
+        ])
+        .unwrap();
+        let out = query(&a).unwrap();
+        assert!(out.contains("set_is_certain"));
+        assert!(out.contains("threshold_0.01"));
+    }
+
+    #[test]
+    fn exact_matches_query_within_epsilon() {
+        let q = query(
+            &Args::parse([
+                "query", "--preset", "toy", "--source", "0", "--epsilon", "1e-6", "--top",
+                "1",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let e = exact(
+            &Args::parse(["exact", "--preset", "toy", "--source", "0", "--top", "1"])
+                .unwrap(),
+        )
+        .unwrap();
+        // Same top-1 vertex in both reports.
+        let top_q = q
+            .lines()
+            .find(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .unwrap()
+            .split('\t')
+            .next()
+            .unwrap()
+            .to_string();
+        let top_e = e
+            .lines()
+            .find(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .unwrap()
+            .split('\t')
+            .next()
+            .unwrap()
+            .to_string();
+        assert_eq!(top_q, top_e);
+    }
+}

@@ -1,0 +1,77 @@
+//! `dppr` — command-line front end for the workspace.
+//!
+//! ```text
+//! dppr generate --model ba --n 10000 --m 5 --seed 1 --out edges.txt
+//! dppr info     --preset lj-sim            # or --graph edges.txt
+//! dppr run      --preset small-sim --engine cpu-mt --batch 1000 --slides 20
+//! dppr query    --graph edges.txt --source 0 --epsilon 1e-5 --top 10
+//! dppr exact    --graph edges.txt --source 0 --top 10
+//! ```
+//!
+//! Every subcommand prints TSV so output can be piped into standard
+//! tooling. See `dppr help` for the full option list.
+
+pub mod args;
+pub mod commands;
+
+use args::{err, Args, CliError};
+
+/// Dispatches a parsed command line; returns the text to print.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => commands::generate(args),
+        "info" => commands::info(args),
+        "run" => commands::run(args),
+        "query" => commands::query(args),
+        "exact" => commands::exact(args),
+        "help" | "" => Ok(HELP.to_string()),
+        other => Err(err(format!("unknown command {other:?}; try `dppr help`"))),
+    }
+}
+
+/// Usage text.
+pub const HELP: &str = "\
+dppr — dynamic Personalized PageRank toolkit
+
+USAGE: dppr <command> [options]
+
+COMMANDS
+  generate   Write a synthetic edge list.
+             --model ba|er|rmat  --n N  --m M  --seed S  --out FILE
+             (ba: m = edges per new vertex; er/rmat: m = edge count;
+              rmat: n is rounded up to a power of two)
+  info       Graph statistics.
+             --preset NAME | --graph FILE [--undirected]
+  run        Stream a sliding window through an engine.
+             --preset NAME | --graph FILE [--undirected]
+             --engine cpu-base|cpu-seq|cpu-mt|ligra|mc  [--variant opt|eager|dupdetect|vanilla]
+             --batch K  --slides N  --alpha A  --epsilon E
+             [--source V | --top-bucket B]  [--seed S]  [--threads T]
+             [--walks-per-vertex W]  [--counters]
+  query      Maintain PPR over the full graph, then answer queries.
+             --graph FILE|--preset NAME [--undirected]
+             --source V  --alpha A  --epsilon E  [--top K] [--threshold D]
+             [--save-state FILE]
+  exact      Ground-truth PPR via Gauss–Jacobi.
+             --graph FILE|--preset NAME [--undirected] --source V [--alpha A] [--top K]
+  help       This text.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_paths() {
+        let a = Args::parse(["help"]).unwrap();
+        assert!(dispatch(&a).unwrap().contains("USAGE"));
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(dispatch(&a).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let a = Args::parse(["frobnicate"]).unwrap();
+        assert!(dispatch(&a).is_err());
+    }
+}

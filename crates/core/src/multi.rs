@@ -1,0 +1,197 @@
+//! Maintenance of many PPR vectors side by side.
+//!
+//! §2.1 of the paper notes that the general (non-unit) personalization case
+//! "can be reduced to the case with the unit vector scenario … by
+//! maintaining multiple PPR vectors with different personalized unit
+//! vectors", and the indexing systems it aims to serve (HubPPR [46],
+//! distributed exact PPR [18]) maintain vectors for many hub vertices.
+//! [`MultiSourcePpr`] does exactly that: one [`PprState`] per source,
+//! updated against the same graph, with the per-source pushes themselves
+//! running in parallel across sources (each push is independent — they
+//! share only the read-only graph).
+
+use crate::config::PprConfig;
+use crate::counters::Counters;
+use crate::invariant::restore_invariant_with_degree;
+use crate::par::{parallel_local_push, ParPushBuffers};
+use crate::state::PprState;
+use crate::variants::PushVariant;
+use dppr_graph::{DynamicGraph, EdgeUpdate, VertexId};
+use rayon::prelude::*;
+
+/// A bundle of PPR vectors for several sources over one dynamic graph.
+pub struct MultiSourcePpr {
+    states: Vec<PprState>,
+    bufs: Vec<ParPushBuffers>,
+    variant: PushVariant,
+    counters: Counters,
+    seeds: Vec<VertexId>,
+}
+
+impl MultiSourcePpr {
+    /// Creates one maintained vector per source, all with the same α and ε.
+    pub fn new(sources: &[VertexId], alpha: f64, epsilon: f64, variant: PushVariant) -> Self {
+        let states = sources
+            .iter()
+            .map(|&s| PprState::new(PprConfig::new(s, alpha, epsilon)))
+            .collect::<Vec<_>>();
+        let bufs = sources.iter().map(|_| ParPushBuffers::new()).collect();
+        MultiSourcePpr {
+            states,
+            bufs,
+            variant,
+            counters: Counters::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Number of maintained sources.
+    pub fn num_sources(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state maintained for the `i`-th source.
+    pub fn state(&self, i: usize) -> &PprState {
+        &self.states[i]
+    }
+
+    /// Cumulative counters across all sources.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Applies a batch: mutates the graph once, then repairs and pushes
+    /// every source's vector (sources processed in parallel; each source's
+    /// own push uses the sequentially-seeded parallel kernel).
+    pub fn apply_batch(&mut self, g: &mut DynamicGraph, batch: &[EdgeUpdate]) -> usize {
+        // Graph mutation happens once, recording each update's post-update
+        // out-degree (the d_j(u) of Lemma 3) so the invariant repairs can
+        // be replayed exactly against every source's state afterwards.
+        self.seeds.clear();
+        let mut applied: Vec<(EdgeUpdate, usize)> = Vec::with_capacity(batch.len());
+        for &upd in batch {
+            if g.apply(upd) {
+                applied.push((upd, g.out_degree(upd.src)));
+                self.seeds.push(upd.src);
+            }
+        }
+        let n = g.num_vertices();
+        for st in &mut self.states {
+            st.ensure_len(n);
+        }
+        let g = &*g;
+        let seeds = &self.seeds;
+        let applied_ref = &applied;
+        let variant = self.variant;
+        let counters = &self.counters;
+        self.states
+            .par_iter()
+            .zip(self.bufs.par_iter_mut())
+            .for_each(|(st, bufs)| {
+                for &(upd, dout_after) in applied_ref {
+                    restore_invariant_with_degree(st, upd.src, upd.dst, upd.op, dout_after);
+                    counters.record_restore();
+                }
+                parallel_local_push(g, st, variant, seeds, counters, bufs);
+            });
+        applied.len()
+    }
+
+    /// The estimate of `v` w.r.t. the `i`-th source.
+    pub fn estimate(&self, i: usize, v: VertexId) -> f64 {
+        self.states[i].p(v)
+    }
+
+    /// Top-`k` vertices by estimate for the `i`-th source, descending
+    /// (ties by ascending id). The workhorse of recommendation queries.
+    pub fn top_k(&self, i: usize, k: usize) -> Vec<(VertexId, f64)> {
+        top_k_of(&self.states[i].estimates(), k)
+    }
+}
+
+/// Top-`k` entries of a score vector, descending (ties by ascending id).
+pub fn top_k_of(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &VertexId, b: &VertexId| {
+        scores[*b as usize]
+            .partial_cmp(&scores[*a as usize])
+            .unwrap()
+            .then(a.cmp(b))
+    };
+    let mut idx: Vec<VertexId> = (0..scores.len() as VertexId).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_by(cmp);
+    idx.into_iter().map(|v| (v, scores[v as usize])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::exact_ppr;
+    use crate::invariant::max_invariant_violation;
+    use dppr_graph::generators::erdos_renyi;
+
+    #[test]
+    fn maintains_every_source_accurately() {
+        let sources = [0u32, 3, 7];
+        let mut multi = MultiSourcePpr::new(&sources, 0.2, 1e-3, PushVariant::OPT);
+        let mut g = DynamicGraph::new();
+        let edges = erdos_renyi(40, 400, 13);
+        for chunk in edges.chunks(80) {
+            let batch: Vec<EdgeUpdate> =
+                chunk.iter().map(|&(u, v)| EdgeUpdate::insert(u, v)).collect();
+            multi.apply_batch(&mut g, &batch);
+        }
+        for (i, &s) in sources.iter().enumerate() {
+            let truth = exact_ppr(&g, s, 0.2, 1e-12);
+            assert!(max_invariant_violation(&g, multi.state(i)) < 1e-9);
+            for v in 0..g.num_vertices() as VertexId {
+                assert!(
+                    (multi.estimate(i, v) - truth[v as usize]).abs() <= 1e-3 + 1e-9,
+                    "source {s} vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_propagate_to_all_sources() {
+        let sources = [0u32, 1];
+        let mut multi = MultiSourcePpr::new(&sources, 0.3, 1e-3, PushVariant::OPT);
+        let mut g = DynamicGraph::new();
+        let edges = erdos_renyi(20, 150, 5);
+        let ins: Vec<EdgeUpdate> =
+            edges.iter().map(|&(u, v)| EdgeUpdate::insert(u, v)).collect();
+        multi.apply_batch(&mut g, &ins);
+        let del: Vec<EdgeUpdate> = edges[..50]
+            .iter()
+            .map(|&(u, v)| EdgeUpdate::delete(u, v))
+            .collect();
+        let applied = multi.apply_batch(&mut g, &del);
+        assert_eq!(applied, 50);
+        for (i, &s) in sources.iter().enumerate() {
+            let truth = exact_ppr(&g, s, 0.3, 1e-12);
+            for v in 0..g.num_vertices() as VertexId {
+                assert!((multi.estimate(i, v) - truth[v as usize]).abs() <= 1e-3 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let scores = [0.1, 0.5, 0.3, 0.5, 0.0];
+        let top = top_k_of(&scores, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], (1, 0.5)); // tie broken by id
+        assert_eq!(top[1], (3, 0.5));
+        assert_eq!(top[2], (2, 0.3));
+        assert_eq!(top_k_of(&scores, 0), vec![]);
+        assert_eq!(top_k_of(&[], 5), vec![]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Checkpointing a maintained PPR state.
+//!
+//! The indexing systems the paper aims to serve (HubPPR [46], distributed
+//! exact PPR [18]) keep pre-computed PPR vectors on disk and maintain them
+//! incrementally. This module provides the minimal durable format for
+//! that: a plain-text, versioned snapshot of `(config, Ps, Rs)` that can
+//! be written after any converged batch and re-attached to a graph later
+//! — useful for restart, for shipping states between the sequential and
+//! parallel engines, and for debugging.
+//!
+//! Format (line-oriented, `f64` round-trips via hex bits for exactness):
+//!
+//! ```text
+//! dppr-state v1
+//! source <u32> alpha <hex-bits> epsilon <hex-bits> len <usize>
+//! <p-bits> <r-bits>        (one line per vertex)
+//! ```
+
+use crate::config::PprConfig;
+use crate::state::PprState;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "dppr-state v1";
+
+/// Writes a snapshot of `state` to `w`.
+pub fn write_state<W: Write>(state: &PprState, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let cfg = state.config();
+    writeln!(w, "{MAGIC}")?;
+    writeln!(
+        w,
+        "source {} alpha {:016x} epsilon {:016x} len {}",
+        cfg.source,
+        cfg.alpha.to_bits(),
+        cfg.epsilon.to_bits(),
+        state.len()
+    )?;
+    for v in 0..state.len() as u32 {
+        writeln!(
+            w,
+            "{:016x} {:016x}",
+            state.p(v).to_bits(),
+            state.r(v).to_bits()
+        )?;
+    }
+    w.flush()
+}
+
+/// Reads a snapshot back. The returned state is bit-identical to the one
+/// written.
+pub fn read_state<R: Read>(r: R) -> io::Result<PprState> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = |what: &str| -> io::Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| bad(format!("unexpected EOF reading {what}")))?
+    };
+    let magic = next("header")?;
+    if magic.trim() != MAGIC {
+        return Err(bad(format!("bad magic {magic:?}")));
+    }
+    let header = next("config")?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() != 8
+        || tokens[0] != "source"
+        || tokens[2] != "alpha"
+        || tokens[4] != "epsilon"
+        || tokens[6] != "len"
+    {
+        return Err(bad(format!("malformed config line {header:?}")));
+    }
+    let source: u32 = tokens[1].parse().map_err(|_| bad("bad source".into()))?;
+    let alpha = f64::from_bits(parse_hex(tokens[3])?);
+    let epsilon = f64::from_bits(parse_hex(tokens[5])?);
+    let len: usize = tokens[7].parse().map_err(|_| bad("bad len".into()))?;
+    if !(alpha > 0.0 && alpha < 1.0) || epsilon <= 0.0 {
+        return Err(bad(format!("invalid parameters α={alpha} ε={epsilon}")));
+    }
+    let mut state = PprState::new(PprConfig::new(source, alpha, epsilon));
+    state.ensure_len(len);
+    for v in 0..len as u32 {
+        let line = next("vertex row")?;
+        let mut it = line.split_whitespace();
+        let p = f64::from_bits(parse_hex(
+            it.next().ok_or_else(|| bad("missing p".into()))?,
+        )?);
+        let r = f64::from_bits(parse_hex(
+            it.next().ok_or_else(|| bad("missing r".into()))?,
+        )?);
+        state.set_p(v, p);
+        state.set_r(v, r);
+    }
+    Ok(state)
+}
+
+/// Writes a snapshot to a file.
+pub fn save_state<P: AsRef<Path>>(state: &PprState, path: P) -> io::Result<()> {
+    write_state(state, std::fs::File::create(path)?)
+}
+
+/// Reads a snapshot from a file.
+pub fn load_state<P: AsRef<Path>>(path: P) -> io::Result<PprState> {
+    read_state(std::fs::File::open(path)?)
+}
+
+fn parse_hex(tok: &str) -> io::Result<u64> {
+    u64::from_str_radix(tok, 16).map_err(|_| bad(format!("bad hex field {tok:?}")))
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counters;
+    use crate::invariant::{apply_update, max_invariant_violation};
+    use crate::par::{parallel_local_push, ParPushBuffers};
+    use crate::variants::PushVariant;
+    use dppr_graph::generators::erdos_renyi;
+    use dppr_graph::{DynamicGraph, EdgeUpdate};
+
+    fn converged_pair() -> (DynamicGraph, PprState) {
+        let cfg = PprConfig::new(0, 0.15, 1e-4);
+        let mut st = PprState::new(cfg);
+        let mut g = DynamicGraph::new();
+        let c = Counters::new();
+        let mut seeds = Vec::new();
+        for (u, v) in erdos_renyi(40, 300, 5) {
+            if apply_update(&mut g, &mut st, EdgeUpdate::insert(u, v), &c) {
+                seeds.push(u);
+            }
+        }
+        let mut bufs = ParPushBuffers::new();
+        parallel_local_push(&g, &st, PushVariant::OPT, &seeds, &c, &mut bufs);
+        (g, st)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let (_, st) = converged_pair();
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        let back = read_state(&buf[..]).unwrap();
+        assert_eq!(back.config(), st.config());
+        assert_eq!(back.len(), st.len());
+        assert_eq!(back.estimates(), st.estimates());
+        assert_eq!(back.residuals(), st.residuals());
+    }
+
+    #[test]
+    fn restored_state_resumes_maintenance() {
+        let (mut g, st) = converged_pair();
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        let mut resumed = read_state(&buf[..]).unwrap();
+        // Keep updating through the resumed state.
+        let c = Counters::new();
+        let mut seeds = Vec::new();
+        for (u, v) in erdos_renyi(40, 60, 77) {
+            if apply_update(&mut g, &mut resumed, EdgeUpdate::insert(u, v), &c) {
+                seeds.push(u);
+            }
+        }
+        let mut bufs = ParPushBuffers::new();
+        parallel_local_push(&g, &resumed, PushVariant::OPT, &seeds, &c, &mut bufs);
+        assert!(resumed.converged());
+        assert!(max_invariant_violation(&g, &resumed) < 1e-9);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, st) = converged_pair();
+        let dir = std::env::temp_dir().join("dppr_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.dppr");
+        save_state(&st, &path).unwrap();
+        let back = load_state(&path).unwrap();
+        assert_eq!(back.estimates(), st.estimates());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(read_state(&b"nonsense"[..]).is_err());
+        assert!(read_state(&b"dppr-state v1\nsource x alpha 0 epsilon 0 len 0\n"[..]).is_err());
+        // Truncated vertex rows.
+        let (_, st) = converged_pair();
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_state(&buf[..]).is_err());
+        // Special values survive.
+        let cfg = PprConfig::new(0, 0.5, 0.1);
+        let mut tiny = PprState::new(cfg);
+        tiny.ensure_len(2);
+        tiny.set_p(1, f64::MIN_POSITIVE);
+        tiny.set_r(1, -0.0);
+        let mut buf = Vec::new();
+        write_state(&tiny, &mut buf).unwrap();
+        let back = read_state(&buf[..]).unwrap();
+        assert_eq!(back.p(1).to_bits(), f64::MIN_POSITIVE.to_bits());
+        assert_eq!(back.r(1).to_bits(), (-0.0f64).to_bits());
+    }
+}

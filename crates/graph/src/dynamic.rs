@@ -1,0 +1,339 @@
+//! The mutable directed graph all engines run on.
+//!
+//! `DynamicGraph` maintains *both* adjacency directions because the local
+//! push of the paper walks **in-neighbors** (`Nin(u)` in Algorithms 2–4)
+//! while `RestoreInvariant` and the random-walk baseline need out-degrees and
+//! out-neighbors. Edges are stored in unsorted adjacency vectors: insertion
+//! is amortized O(1); deletion is O(deg) via `swap_remove`, which is the
+//! standard trade-off for streaming graph stores (cf. STINGER [14]).
+
+use crate::types::{EdgeOp, EdgeUpdate, VertexId};
+
+/// An in-memory directed graph supporting the dynamic update model of §2.2.
+///
+/// Vertices are dense `u32` ids `0..num_vertices()`. Inserting an edge whose
+/// endpoint exceeds the current vertex count grows the vertex set (the
+/// paper: "an edge insertion may introduce new vertices"); deleting an edge
+/// never shrinks ids, but [`DynamicGraph::active_vertices`] reports how many
+/// vertices currently have non-zero degree (the paper's `|V^t|` accounting).
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    out_adj: Vec<Vec<VertexId>>,
+    in_adj: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph with no vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        DynamicGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from a list of directed edges, inserting each with
+    /// [`DynamicGraph::insert_edge`] (duplicates and self-loops are skipped).
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut g = DynamicGraph::new();
+        for (u, v) in edges {
+            g.insert_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertex ids allocated (isolated vertices included).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of directed edges currently present.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of vertices with non-zero (in+out) degree.
+    pub fn active_vertices(&self) -> usize {
+        (0..self.num_vertices())
+            .filter(|&v| !self.out_adj[v].is_empty() || !self.in_adj[v].is_empty())
+            .count()
+    }
+
+    /// Average out-degree `d = m/n` over allocated vertices (the `d` of
+    /// Theorem 1). Returns 0 for an empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Grows the vertex set so `v` is a valid id.
+    #[inline]
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        if need > self.out_adj.len() {
+            self.out_adj.resize_with(need, Vec::new);
+            self.in_adj.resize_with(need, Vec::new);
+        }
+    }
+
+    /// Out-degree `dout(u)`; zero for ids outside the current vertex set.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.out_adj.get(u as usize).map_or(0, Vec::len)
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: VertexId) -> usize {
+        self.in_adj.get(u as usize).map_or(0, Vec::len)
+    }
+
+    /// The out-neighbor set `Nout(u)` (unsorted).
+    #[inline]
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        self.out_adj.get(u as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The in-neighbor set `Nin(u)` (unsorted) — the direction the local
+    /// push propagates residuals along.
+    #[inline]
+    pub fn in_neighbors(&self, u: VertexId) -> &[VertexId] {
+        self.in_adj.get(u as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the directed edge `u → v` is present. O(dout(u)).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).contains(&v)
+    }
+
+    /// Inserts the directed edge `u → v`. Returns `false` (and leaves the
+    /// graph unchanged) for self-loops and already-present edges — the
+    /// paper's graphs are simple.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        self.insert_edge_unchecked(u, v);
+        true
+    }
+
+    /// Inserts `u → v` without the duplicate check. Safe to use when the
+    /// caller guarantees uniqueness (e.g. a random edge permutation, where
+    /// each edge occurs once); produces a multigraph otherwise.
+    #[inline]
+    pub fn insert_edge_unchecked(&mut self, u: VertexId, v: VertexId) {
+        self.ensure_vertex(u.max(v));
+        self.out_adj[u as usize].push(v);
+        self.in_adj[v as usize].push(u);
+        self.num_edges += 1;
+    }
+
+    /// Deletes the directed edge `u → v`. Returns `false` if absent.
+    /// Adjacency order is not preserved (`swap_remove`).
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let Some(out) = self.out_adj.get_mut(u as usize) else {
+            return false;
+        };
+        let Some(pos) = out.iter().position(|&x| x == v) else {
+            return false;
+        };
+        out.swap_remove(pos);
+        let inn = &mut self.in_adj[v as usize];
+        let pos = inn
+            .iter()
+            .position(|&x| x == u)
+            .expect("in/out adjacency desynchronized");
+        inn.swap_remove(pos);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Applies one [`EdgeUpdate`]; returns whether the graph changed.
+    pub fn apply(&mut self, upd: EdgeUpdate) -> bool {
+        match upd.op {
+            EdgeOp::Insert => self.insert_edge(upd.src, upd.dst),
+            EdgeOp::Delete => self.delete_edge(upd.src, upd.dst),
+        }
+    }
+
+    /// Iterates over all directed edges `(u, v)` in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u as VertexId, v)))
+    }
+
+    /// The ids of the `k` vertices with the largest out-degree, sorted by
+    /// descending degree (ties by ascending id). This is how the paper picks
+    /// source vertices ("top-10, top-1K and top-1M out-degrees", Table 2).
+    pub fn top_out_degree_vertices(&self, k: usize) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> = (0..self.num_vertices() as VertexId).collect();
+        ids.sort_unstable_by(|&a, &b| {
+            self.out_degree(b).cmp(&self.out_degree(a)).then(a.cmp(&b))
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    /// Checks internal consistency between the two adjacency directions.
+    /// O(n + m log m); intended for tests and debug assertions.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.out_adj.len() != self.in_adj.len() {
+            return Err("vertex array length mismatch".into());
+        }
+        let mut fwd: Vec<(VertexId, VertexId)> = self.edges().collect();
+        let mut bwd: Vec<(VertexId, VertexId)> = self
+            .in_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(v, us)| us.iter().map(move |&u| (u, v as VertexId)))
+            .collect();
+        if fwd.len() != self.num_edges {
+            return Err(format!(
+                "edge count {} != out-adjacency total {}",
+                self.num_edges,
+                fwd.len()
+            ));
+        }
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        if fwd != bwd {
+            return Err("in/out adjacency disagree".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = DynamicGraph::new();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_degree(7), 0);
+        assert_eq!(g.in_degree(7), 0);
+        assert!(g.out_neighbors(7).is_empty());
+        assert!(!g.has_edge(0, 1));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn insert_grows_vertex_set() {
+        let mut g = DynamicGraph::new();
+        assert!(g.insert_edge(2, 5));
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.in_degree(5), 1);
+        assert_eq!(g.out_neighbors(2), &[5]);
+        assert_eq!(g.in_neighbors(5), &[2]);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut g = DynamicGraph::new();
+        assert!(g.insert_edge(0, 1));
+        assert!(!g.insert_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DynamicGraph::new();
+        assert!(!g.insert_edge(3, 3));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let mut g = DynamicGraph::from_edges([(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.delete_edge(0, 1));
+        assert!(!g.delete_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(1), 0);
+        assert!(g.has_edge(0, 2));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn delete_absent_edge_is_noop() {
+        let mut g = DynamicGraph::from_edges([(0, 1)]);
+        assert!(!g.delete_edge(1, 0));
+        assert!(!g.delete_edge(9, 9));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn apply_updates() {
+        let mut g = DynamicGraph::new();
+        assert!(g.apply(EdgeUpdate::insert(0, 1)));
+        assert!(g.apply(EdgeUpdate::insert(1, 2)));
+        assert!(g.apply(EdgeUpdate::delete(0, 1)));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn active_vertices_counts_nonzero_degree() {
+        let mut g = DynamicGraph::with_vertices(10);
+        assert_eq!(g.active_vertices(), 0);
+        g.insert_edge(0, 1);
+        g.insert_edge(2, 1);
+        assert_eq!(g.active_vertices(), 3);
+        g.delete_edge(0, 1);
+        assert_eq!(g.active_vertices(), 2);
+    }
+
+    #[test]
+    fn top_out_degree_ordering() {
+        let mut g = DynamicGraph::new();
+        for v in 1..=4 {
+            g.insert_edge(0, v); // dout(0)=4
+        }
+        for v in [0, 2, 3] {
+            g.insert_edge(1, v); // dout(1)=3
+        }
+        g.insert_edge(2, 0); // dout(2)=1
+        let top = g.top_out_degree_vertices(2);
+        assert_eq!(top, vec![0, 1]);
+        let all = g.top_out_degree_vertices(100);
+        assert_eq!(all.len(), g.num_vertices());
+        assert_eq!(all[0], 0);
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let g = DynamicGraph::from_edges([(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = DynamicGraph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((g.average_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(DynamicGraph::new().average_degree(), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::types::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an **undirected** Barabási–Albert graph with `n` vertices where
+/// each arriving vertex attaches to `m_per_node` distinct existing vertices
+/// with probability proportional to their degree. Returns each undirected
+/// edge once as `(u, v)`; callers wanting the paper's directed convention
+/// should pass the result through
+/// [`super::undirected_to_directed`].
+///
+/// The implementation uses the standard endpoint-list trick: sampling a
+/// uniform element of the flattened endpoint multiset is exactly
+/// degree-proportional sampling, so generation is O(n·m) with no degree
+/// bookkeeping.
+pub fn barabasi_albert(n: VertexId, m_per_node: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let m0 = (m_per_node.max(1) + 1) as VertexId; // seed clique size
+    assert!(n >= m0, "need n >= {m0} vertices for m = {m_per_node}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Endpoint multiset: vertex v appears deg(v) times.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    // Seed with a clique on m0 vertices so early degrees are non-zero.
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut chosen: Vec<VertexId> = Vec::with_capacity(m_per_node);
+    for v in m0..n {
+        chosen.clear();
+        // Sample m distinct degree-proportional targets by rejection.
+        while chosen.len() < m_per_node {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t, v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    edges
+}

@@ -1,0 +1,39 @@
+//! Erdős–Rényi `G(n, m)` directed graphs.
+
+use crate::types::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples `m` distinct directed edges (no self-loops) uniformly among the
+/// `n·(n−1)` possible arcs. If `m` exceeds that maximum the complete digraph
+/// is returned.
+///
+/// Rejection sampling keeps the expected cost O(m) while the graph is sparse
+/// (the regime of every experiment in the paper).
+pub fn erdos_renyi(n: VertexId, m: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    assert!(n >= 2 || m == 0, "need at least two vertices for any edge");
+    let max_edges = n as usize * (n as usize - 1);
+    if m >= max_edges {
+        let mut all = Vec::with_capacity(max_edges);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    all.push((u, v));
+                }
+            }
+        }
+        return all;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+    edges
+}

@@ -1,0 +1,108 @@
+//! SNAP-style edge-list text I/O.
+//!
+//! The paper's datasets ship as whitespace-separated `src dst` lines with
+//! `#`-prefixed comments; this module reads and writes that format so users
+//! can run the engines on the real SNAP files when they have them.
+
+use crate::types::VertexId;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Parses an edge list from any reader. Lines starting with `#` or `%` and
+/// blank lines are skipped; each remaining line must contain at least two
+/// whitespace-separated integers (extra columns such as timestamps or
+/// weights are ignored).
+pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<Vec<(VertexId, VertexId)>> {
+    let mut edges = Vec::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+            tok.ok_or_else(|| bad_line(lineno, t))?
+                .parse::<VertexId>()
+                .map_err(|_| bad_line(lineno, t))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+fn bad_line(lineno: usize, content: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge-list line {lineno}: {content:?}"),
+    )
+}
+
+/// Reads an edge list from a file.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> io::Result<Vec<(VertexId, VertexId)>> {
+    parse_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes an edge list (one `src\tdst` per line) with a comment header.
+pub fn write_edge_list<P: AsRef<Path>>(
+    path: P,
+    edges: &[(VertexId, VertexId)],
+    comment: &str,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    if !comment.is_empty() {
+        writeln!(w, "# {comment}")?;
+    }
+    for &(u, v) in edges {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_snap_format() {
+        let text = "# Directed graph\n# Nodes: 3 Edges: 3\n0\t1\n1 2\n\n% matrix-market style comment\n2 0 extra-col\n";
+        let edges = parse_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_edge_list(Cursor::new("0 x\n")).is_err());
+        assert!(parse_edge_list(Cursor::new("42\n")).is_err());
+        assert!(parse_edge_list(Cursor::new("-1 2\n")).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dppr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        let edges = vec![(0, 1), (5, 3), (2, 2)];
+        write_edge_list(&path, &edges, "test graph").unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(back, edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_edge_list(Cursor::new("")).unwrap().is_empty());
+        assert!(parse_edge_list(Cursor::new("# only comments\n")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared vertex/edge types for the dynamic graph model (paper §2.2).
+
+/// Vertex identifier. The paper's largest graph (Twitter) has 41.6M vertices,
+/// well within `u32`; using 32-bit ids halves adjacency memory traffic, which
+/// matters for the push kernels (see the Rust perf-book notes on smaller
+/// integer types).
+pub type VertexId = u32;
+
+/// The operation carried by one element of an update batch `ΔEt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// Insert the directed edge `src → dst`.
+    Insert,
+    /// Delete the directed edge `src → dst`.
+    Delete,
+}
+
+impl EdgeOp {
+    /// The `op` scalar of the paper's Lemma 3: `+1` for insertion, `−1` for
+    /// deletion.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            EdgeOp::Insert => 1.0,
+            EdgeOp::Delete => -1.0,
+        }
+    }
+}
+
+/// One edge update `(u, v, op)` of the dynamic graph model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeUpdate {
+    /// Tail of the directed edge (`u` in the paper).
+    pub src: VertexId,
+    /// Head of the directed edge (`v` in the paper).
+    pub dst: VertexId,
+    /// Insert or delete.
+    pub op: EdgeOp,
+}
+
+impl EdgeUpdate {
+    /// Convenience constructor for an insertion.
+    #[inline]
+    pub fn insert(src: VertexId, dst: VertexId) -> Self {
+        EdgeUpdate { src, dst, op: EdgeOp::Insert }
+    }
+
+    /// Convenience constructor for a deletion.
+    #[inline]
+    pub fn delete(src: VertexId, dst: VertexId) -> Self {
+        EdgeUpdate { src, dst, op: EdgeOp::Delete }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_signs_match_lemma_3() {
+        assert_eq!(EdgeOp::Insert.sign(), 1.0);
+        assert_eq!(EdgeOp::Delete.sign(), -1.0);
+    }
+
+    #[test]
+    fn update_constructors() {
+        let i = EdgeUpdate::insert(1, 2);
+        assert_eq!(i, EdgeUpdate { src: 1, dst: 2, op: EdgeOp::Insert });
+        let d = EdgeUpdate::delete(3, 4);
+        assert_eq!(d, EdgeUpdate { src: 3, dst: 4, op: EdgeOp::Delete });
+    }
+}

@@ -1,0 +1,96 @@
+//! Statistical and structural tests for the Monte-Carlo engine across
+//! full sliding-window runs.
+
+use dppr_core::{DynamicPprEngine, PprConfig};
+use dppr_graph::generators::erdos_renyi;
+use dppr_graph::{DynamicGraph, EdgeUpdate, GraphStream, SlidingWindow};
+use dppr_mc::{endpoint_distribution, MonteCarloEngine, MonteCarloPpr};
+
+#[test]
+fn stays_accurate_across_many_slides() {
+    let stream = GraphStream::directed(erdos_renyi(25, 500, 77)).permuted(5);
+    let mut window = SlidingWindow::new(stream, 0.2);
+    let cfg = PprConfig::new(0, 0.2, 0.05);
+    let mut eng = MonteCarloEngine::new(cfg, 30_000, 9);
+    let mut g = DynamicGraph::new();
+    eng.apply_batch(&mut g, &window.initial_updates());
+    while let Some(batch) = window.slide(80) {
+        eng.apply_batch(&mut g, &batch);
+    }
+    eng.walks().check_consistency().unwrap();
+    let exact = endpoint_distribution(&g, 0, 0.2, 1e-13);
+    for v in 0..g.num_vertices() as u32 {
+        let err = (eng.estimate(v) - exact[v as usize]).abs();
+        assert!(err < 0.03, "vertex {v}: err {err}");
+    }
+    // Estimates remain a probability distribution.
+    let total: f64 = eng.estimates().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn rebuild_equals_incremental_distributionally() {
+    // Incremental maintenance and a from-scratch rebuild on the final
+    // graph are different samples of the same distribution: both must be
+    // close to the exact endpoint distribution.
+    let edges = erdos_renyi(20, 150, 3);
+    let mut g = DynamicGraph::new();
+    let mut incremental = MonteCarloPpr::new(0, 0.25, 40_000, 1);
+    for &(u, v) in &edges {
+        g.insert_edge(u, v);
+        incremental.on_update(&g, u);
+    }
+    let mut rebuilt = MonteCarloPpr::new(0, 0.25, 40_000, 2);
+    rebuilt.rebuild(&g);
+    rebuilt.check_consistency().unwrap();
+    let exact = endpoint_distribution(&g, 0, 0.25, 1e-13);
+    for v in 0..g.num_vertices() as u32 {
+        let e = exact[v as usize];
+        assert!((incremental.estimate(v) - e).abs() < 0.025, "incremental at {v}");
+        assert!((rebuilt.estimate(v) - e).abs() < 0.025, "rebuilt at {v}");
+    }
+}
+
+#[test]
+fn walk_count_is_invariant_under_updates() {
+    let mut g = DynamicGraph::new();
+    let mut mc = MonteCarloPpr::new(0, 0.3, 5_000, 4);
+    assert_eq!(mc.num_walks(), 5_000);
+    for (u, v) in erdos_renyi(15, 80, 6) {
+        g.insert_edge(u, v);
+        mc.on_update(&g, u);
+        let total: f64 = mc.estimates().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass leaked after update");
+    }
+    assert_eq!(mc.num_walks(), 5_000);
+}
+
+#[test]
+fn update_not_touching_source_component_is_cheap() {
+    // Walks live in the source's out-component; updates elsewhere must
+    // not change any estimate.
+    let mut g = DynamicGraph::from_edges([(0, 1), (1, 0)]);
+    let mut mc = MonteCarloPpr::new(0, 0.3, 10_000, 8);
+    mc.rebuild(&g);
+    let before = mc.estimates();
+    // Island 5 ⇄ 6, unreachable from 0.
+    g.insert_edge(5, 6);
+    mc.on_update(&g, 5);
+    g.insert_edge(6, 5);
+    mc.on_update(&g, 6);
+    let after = mc.estimates();
+    assert_eq!(&before[..], &after[..before.len()]);
+    assert_eq!(mc.estimate(5), 0.0);
+}
+
+#[test]
+fn engine_trait_counters_report_batches() {
+    let cfg = PprConfig::new(0, 0.2, 0.1);
+    let mut eng = MonteCarloEngine::new(cfg, 1_000, 3);
+    let mut g = DynamicGraph::new();
+    let stats = eng.apply_batch(&mut g, &[EdgeUpdate::insert(0, 1)]);
+    assert_eq!(stats.applied, 1);
+    assert_eq!(stats.counters.batches, 1);
+    assert_eq!(eng.name(), "Monte-Carlo");
+    assert_eq!(eng.config().source, 0);
+}

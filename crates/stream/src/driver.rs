@@ -1,0 +1,277 @@
+//! The sliding-window driver and its run reports.
+
+use dppr_core::{BatchStats, CounterSnapshot, DynamicPprEngine};
+use dppr_graph::{DynamicGraph, GraphStream, SlidingWindow};
+use std::time::{Duration, Instant};
+
+/// One window slide as observed by the driver.
+#[derive(Debug, Clone, Copy)]
+pub struct SlideRecord {
+    /// Slide index (0-based).
+    pub slide: usize,
+    /// Updates handed to the engine (inserts + deletes, arcs).
+    pub batch_updates: usize,
+    /// Updates that actually changed the graph.
+    pub applied: usize,
+    /// Engine latency for the batch.
+    pub latency: Duration,
+    /// Counter deltas for the batch.
+    pub counters: CounterSnapshot,
+}
+
+/// Aggregate of a streaming run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Engine name.
+    pub engine: String,
+    /// Number of slides executed.
+    pub slides: usize,
+    /// Total updates handed to the engine.
+    pub total_updates: usize,
+    /// Sum of per-slide latencies.
+    pub total_latency: Duration,
+    /// Per-slide records.
+    pub records: Vec<SlideRecord>,
+}
+
+impl RunSummary {
+    /// Sustained throughput in updates (edge insertions + deletions) per
+    /// second — the paper's "edges consumed per second".
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_latency.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_updates as f64 / secs
+        }
+    }
+
+    /// Mean per-slide latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.slides == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.slides as u32
+        }
+    }
+
+    /// Maximum per-slide latency.
+    pub fn max_latency(&self) -> Duration {
+        self.records
+            .iter()
+            .map(|r| r.latency)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Sum of counter deltas over all recorded slides.
+    pub fn total_counters(&self) -> CounterSnapshot {
+        let mut total = CounterSnapshot::default();
+        for r in &self.records {
+            total.pushes += r.counters.pushes;
+            total.edge_traversals += r.counters.edge_traversals;
+            total.atomic_adds += r.counters.atomic_adds;
+            total.cas_retries += r.counters.cas_retries;
+            total.enqueued += r.counters.enqueued;
+            total.dup_avoided += r.counters.dup_avoided;
+            total.iterations += r.counters.iterations;
+            total.max_frontier = total.max_frontier.max(r.counters.max_frontier);
+            total.frontier_total += r.counters.frontier_total;
+            total.restore_ops += r.counters.restore_ops;
+            total.batches += r.counters.batches;
+        }
+        total
+    }
+}
+
+/// Owns the graph and the window; feeds any engine.
+pub struct StreamDriver {
+    window: SlidingWindow,
+    graph: DynamicGraph,
+    bootstrapped: bool,
+}
+
+impl StreamDriver {
+    /// Creates a driver whose initial window covers `init_fraction` of the
+    /// stream (the paper uses 0.1).
+    pub fn new(stream: GraphStream, init_fraction: f64) -> Self {
+        StreamDriver {
+            window: SlidingWindow::new(stream, init_fraction),
+            graph: DynamicGraph::new(),
+            bootstrapped: false,
+        }
+    }
+
+    /// The graph as of the last processed batch.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The underlying window.
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+
+    /// Applies the initial window through the engine as one insertion
+    /// batch, so its state is converged before sliding starts.
+    pub fn bootstrap(&mut self, engine: &mut dyn DynamicPprEngine) -> BatchStats {
+        assert!(!self.bootstrapped, "driver already bootstrapped");
+        self.bootstrapped = true;
+        let init = self.window.initial_updates();
+        engine.apply_batch(&mut self.graph, &init)
+    }
+
+    /// Runs up to `max_slides` slides of `k` logical edges each, stopping
+    /// early when the stream is exhausted.
+    pub fn run_slides(
+        &mut self,
+        engine: &mut dyn DynamicPprEngine,
+        k: usize,
+        max_slides: usize,
+    ) -> RunSummary {
+        assert!(self.bootstrapped, "bootstrap the engine first");
+        let mut summary = RunSummary {
+            engine: engine.name(),
+            slides: 0,
+            total_updates: 0,
+            total_latency: Duration::ZERO,
+            records: Vec::new(),
+        };
+        for slide in 0..max_slides {
+            let Some(batch) = self.window.slide(k) else {
+                break;
+            };
+            let stats = engine.apply_batch(&mut self.graph, &batch);
+            summary.slides += 1;
+            summary.total_updates += batch.len();
+            summary.total_latency += stats.latency;
+            summary.records.push(SlideRecord {
+                slide,
+                batch_updates: batch.len(),
+                applied: stats.applied,
+                latency: stats.latency,
+                counters: stats.counters,
+            });
+        }
+        summary
+    }
+
+    /// Runs slides until the cumulative engine latency exceeds `budget`
+    /// (the paper's "report the number of edges consumed per second after
+    /// running for 5 minutes") or the stream ends.
+    pub fn run_for(
+        &mut self,
+        engine: &mut dyn DynamicPprEngine,
+        k: usize,
+        budget: Duration,
+    ) -> RunSummary {
+        assert!(self.bootstrapped, "bootstrap the engine first");
+        let mut summary = RunSummary {
+            engine: engine.name(),
+            slides: 0,
+            total_updates: 0,
+            total_latency: Duration::ZERO,
+            records: Vec::new(),
+        };
+        let start = Instant::now();
+        let mut slide = 0usize;
+        while start.elapsed() < budget {
+            let Some(batch) = self.window.slide(k) else {
+                break;
+            };
+            let stats = engine.apply_batch(&mut self.graph, &batch);
+            summary.slides += 1;
+            summary.total_updates += batch.len();
+            summary.total_latency += stats.latency;
+            summary.records.push(SlideRecord {
+                slide,
+                batch_updates: batch.len(),
+                applied: stats.applied,
+                latency: stats.latency,
+                counters: stats.counters,
+            });
+            slide += 1;
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dppr_core::{
+        exact_ppr, ParallelEngine, PprConfig, PushVariant, SeqEngine, UpdateMode,
+    };
+    use dppr_graph::generators::erdos_renyi;
+    use dppr_graph::VertexId;
+
+    fn stream() -> GraphStream {
+        GraphStream::directed(erdos_renyi(80, 2_000, 42)).permuted(7)
+    }
+
+    #[test]
+    fn bootstrap_builds_initial_window() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = ParallelEngine::new(PprConfig::new(0, 0.2, 1e-3), PushVariant::OPT);
+        let stats = d.bootstrap(&mut e);
+        assert_eq!(stats.applied, 200);
+        assert_eq!(d.graph().num_edges(), 200);
+    }
+
+    #[test]
+    fn slides_track_window_and_stay_accurate() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = ParallelEngine::new(PprConfig::new(0, 0.2, 1e-3), PushVariant::OPT);
+        d.bootstrap(&mut e);
+        let summary = d.run_slides(&mut e, 50, 10);
+        assert_eq!(summary.slides, 10);
+        assert_eq!(summary.total_updates, 10 * 100);
+        assert_eq!(d.graph().num_edges(), 200); // window size is invariant
+        assert!(summary.throughput() > 0.0);
+        assert!(summary.mean_latency() > Duration::ZERO);
+        // The maintained estimate matches the from-scratch solution of the
+        // final window graph.
+        let truth = exact_ppr(d.graph(), 0, 0.2, 1e-12);
+        for v in 0..d.graph().num_vertices() as VertexId {
+            assert!((e.estimate(v) - truth[v as usize]).abs() <= 1e-3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stream_exhaustion_stops_early() {
+        let mut d = StreamDriver::new(stream(), 0.5);
+        let mut e = SeqEngine::new(PprConfig::new(0, 0.2, 1e-2), UpdateMode::Batched);
+        d.bootstrap(&mut e);
+        // 1000 edges remain → only 2 slides of 400 fit.
+        let summary = d.run_slides(&mut e, 400, 100);
+        assert_eq!(summary.slides, 2);
+    }
+
+    #[test]
+    fn run_for_respects_budget() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = SeqEngine::new(PprConfig::new(0, 0.2, 1e-2), UpdateMode::Batched);
+        d.bootstrap(&mut e);
+        let summary = d.run_for(&mut e, 10, Duration::from_millis(200));
+        assert!(summary.slides > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap the engine first")]
+    fn running_without_bootstrap_panics() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = SeqEngine::new(PprConfig::new(0, 0.2, 1e-2), UpdateMode::Batched);
+        d.run_slides(&mut e, 10, 1);
+    }
+
+    #[test]
+    fn summary_aggregates_counters() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = ParallelEngine::new(PprConfig::new(0, 0.2, 1e-3), PushVariant::OPT);
+        d.bootstrap(&mut e);
+        let summary = d.run_slides(&mut e, 100, 5);
+        let total = summary.total_counters();
+        assert_eq!(total.batches, 5);
+        assert!(total.restore_ops > 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Sliding-window experiment harness (the methodology of the paper's §5.1).
+//!
+//! A [`StreamDriver`] owns the graph and the sliding window; engines
+//! implementing [`dppr_core::DynamicPprEngine`] are bootstrapped with the
+//! initial window (the first 10% of the edge permutation) and then driven
+//! slide by slide, each slide inserting `k` edges and deleting the `k`
+//! oldest. The driver records per-slide latency and counter deltas and
+//! summarizes sustained throughput — the quantities plotted in Figures
+//! 4–10.
+
+pub mod driver;
+pub mod source;
+
+pub use driver::{RunSummary, SlideRecord, StreamDriver};
+pub use source::pick_top_degree_source;

@@ -1,0 +1,23 @@
+//! A Ligra-style vertex-centric engine, and dynamic PPR implemented on it.
+//!
+//! The paper's `Ligra` baseline (§5.1) runs the batched parallel push on
+//! top of Shun & Blelloch's Ligra abstraction [42] — `vertexSubset`,
+//! `edgeMap`, `vertexMap` with automatic sparse (push) / dense (pull)
+//! switching — to quantify what the *application-specific* optimizations
+//! (eager propagation, local duplicate detection) buy over a general-purpose
+//! graph framework, which "lack[s] application knowledge to perform specific
+//! optimizations".
+//!
+//! [`subset`] and [`edge_map`] implement the abstraction; [`ppr`] ports the
+//! vanilla batched push onto it ([`LigraEngine`]), deliberately using only
+//! what the abstraction offers: stale residual snapshots (bulk-synchronous
+//! semantics cannot propagate eagerly) and CAS-claim frontier dedup (the
+//! generic `edgeMap` contract).
+
+pub mod edge_map;
+pub mod ppr;
+pub mod subset;
+
+pub use edge_map::{edge_map, vertex_map, Direction, EdgeMapOptions};
+pub use ppr::LigraEngine;
+pub use subset::VertexSubset;

@@ -1,0 +1,135 @@
+//! Property tests for the vertex-centric engine: the sparse (push) and
+//! dense (pull) traversal modes must be observationally equivalent, and
+//! the PPR port must match ground truth on arbitrary update scripts.
+
+use dppr_core::{exact_ppr, DynamicPprEngine, PprConfig};
+use dppr_graph::{DynamicGraph, EdgeOp, EdgeUpdate, VertexId};
+use dppr_vc::edge_map::Mode;
+use dppr_vc::{edge_map, vertex_map, Direction, EdgeMapOptions, LigraEngine, VertexSubset};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+fn update_script(n: u32, len: usize) -> impl Strategy<Value = Vec<EdgeUpdate>> {
+    prop::collection::vec(
+        (0..n, 0..n, prop::bool::weighted(0.8)).prop_map(|(u, v, ins)| EdgeUpdate {
+            src: u,
+            dst: v,
+            op: if ins { EdgeOp::Insert } else { EdgeOp::Delete },
+        }),
+        len,
+    )
+}
+
+/// BFS distances through edge_map with a forced mode.
+fn bfs(g: &DynamicGraph, root: VertexId, force: Option<Mode>) -> Vec<u32> {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    claimed[root as usize].store(true, Ordering::Relaxed);
+    let mut frontier = VertexSubset::from_sparse(n, vec![root]);
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let lvl = level;
+        frontier = edge_map(
+            g,
+            &mut frontier,
+            Direction::Out,
+            EdgeMapOptions { force, ..Default::default() },
+            |_u, v| {
+                if !claimed[v as usize].swap(true, Ordering::Relaxed) {
+                    dist[v as usize].store(lvl, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            },
+            |_u, v| {
+                if !claimed[v as usize].load(Ordering::Relaxed) {
+                    claimed[v as usize].store(true, Ordering::Relaxed);
+                    dist[v as usize].store(lvl, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            },
+            |v| !claimed[v as usize].load(Ordering::Relaxed),
+        );
+    }
+    dist.iter().map(|d| d.load(Ordering::Relaxed)).collect()
+}
+
+/// Reference BFS.
+fn bfs_reference(g: &DynamicGraph, root: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Sparse, dense and auto edge_map all compute correct BFS distances.
+    #[test]
+    fn edge_map_modes_agree_on_bfs(script in update_script(30, 150), root in 0u32..30) {
+        let mut g = DynamicGraph::new();
+        for upd in script {
+            g.apply(upd);
+        }
+        g.ensure_vertex(29);
+        let expect = bfs_reference(&g, root);
+        prop_assert_eq!(&bfs(&g, root, Some(Mode::Sparse)), &expect);
+        prop_assert_eq!(&bfs(&g, root, Some(Mode::Dense)), &expect);
+        prop_assert_eq!(&bfs(&g, root, None), &expect);
+    }
+
+    /// vertexSubset conversions never lose members.
+    #[test]
+    fn subset_conversions_lossless(ids in prop::collection::btree_set(0u32..64, 0..40)) {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let mut s = VertexSubset::from_sparse(64, ids.clone());
+        for _ in 0..3 {
+            s.to_dense();
+            prop_assert_eq!(s.len(), ids.len());
+            s.to_sparse();
+            prop_assert_eq!(s.ids(), ids.as_slice());
+        }
+    }
+
+    /// vertex_map output is exactly the filtered subset.
+    #[test]
+    fn vertex_map_is_filter(ids in prop::collection::btree_set(0u32..50, 0..30), m in 1u32..5) {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let mut s = VertexSubset::from_sparse(50, ids.clone());
+        let out = vertex_map(&mut s, |v| v % m == 0);
+        let expect: Vec<u32> = ids.iter().copied().filter(|v| v % m == 0).collect();
+        prop_assert_eq!(out.collect_ids(), expect);
+    }
+
+    /// The Ligra PPR engine is ε-accurate on arbitrary scripts.
+    #[test]
+    fn ligra_ppr_accuracy(script in update_script(24, 120), batch in 1usize..30) {
+        let cfg = PprConfig::new(0, 0.2, 1e-3);
+        let mut eng = LigraEngine::new(cfg);
+        let mut g = DynamicGraph::new();
+        for chunk in script.chunks(batch) {
+            eng.apply_batch(&mut g, chunk);
+        }
+        let truth = exact_ppr(&g, 0, 0.2, 1e-12);
+        for (v, &t) in truth.iter().enumerate() {
+            prop_assert!((eng.estimate(v as u32) - t).abs() <= 1e-3 + 1e-9, "vertex {}", v);
+        }
+    }
+}

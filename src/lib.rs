@@ -1,0 +1,43 @@
+//! # dppr — Parallel Personalized PageRank on Dynamic Graphs
+//!
+//! A Rust reproduction of Guo, Li, Sha & Tan, *Parallel Personalized
+//! PageRank on Dynamic Graphs*, PVLDB 11(1), 2017.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — dynamic graph substrate, generators, sliding-window streams.
+//! * [`core`] — the local-update PPR engines (sequential and parallel) and
+//!   their building blocks.
+//! * [`mc`] — the incremental Monte-Carlo baseline.
+//! * [`vc`] — the Ligra-style vertex-centric engine and its PPR port.
+//! * [`stream`] — the sliding-window experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dppr::core::{ParallelEngine, PprConfig, PushVariant, DynamicPprEngine};
+//! use dppr::graph::{DynamicGraph, EdgeUpdate};
+//!
+//! // Maintain PPR for source 0 with α = 0.15, ε = 1e-4.
+//! let mut g = DynamicGraph::new();
+//! let cfg = PprConfig::new(0, 0.15, 1e-4);
+//! let mut engine = ParallelEngine::new(cfg, PushVariant::OPT);
+//!
+//! // Edges arrive in batches...
+//! let batch = vec![
+//!     EdgeUpdate::insert(0, 1),
+//!     EdgeUpdate::insert(1, 2),
+//!     EdgeUpdate::insert(2, 0),
+//! ];
+//! engine.apply_batch(&mut g, &batch);
+//!
+//! // ...and estimates are always ε-accurate.
+//! let p = engine.estimates();
+//! assert!(p[0] > 0.0);
+//! ```
+
+pub use dppr_core as core;
+pub use dppr_graph as graph;
+pub use dppr_mc as mc;
+pub use dppr_stream as stream;
+pub use dppr_vc as vc;
