@@ -143,4 +143,96 @@ mod tests {
         let a = Args::parse(["x", "--delta", "-5"]).unwrap();
         assert_eq!(a.get("delta"), Some("-5"));
     }
+
+    #[test]
+    fn rejects_bare_double_dash() {
+        assert!(Args::parse(["run", "--"]).is_err());
+    }
+
+    // One test per subcommand, exercising the full option line each one
+    // documents in `dppr help`.
+
+    #[test]
+    fn generate_command_line() {
+        let a = Args::parse([
+            "generate", "--model", "ba", "--n", "10000", "--m", "5", "--seed", "1", "--out",
+            "edges.txt",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.get_or("model", "er"), "ba");
+        assert_eq!(a.get_parsed("n", 0u32).unwrap(), 10_000);
+        assert_eq!(a.get_parsed("m", 0usize).unwrap(), 5);
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 1);
+        assert_eq!(a.require("out").unwrap(), "edges.txt");
+    }
+
+    #[test]
+    fn info_command_line() {
+        let a = Args::parse(["info", "--preset", "lj-sim"]).unwrap();
+        assert_eq!(a.command, "info");
+        assert_eq!(a.get("preset"), Some("lj-sim"));
+        assert!(!a.flag("undirected"));
+
+        let a = Args::parse(["info", "--graph", "edges.txt", "--undirected"]).unwrap();
+        assert_eq!(a.get("graph"), Some("edges.txt"));
+        assert!(a.flag("undirected"));
+    }
+
+    #[test]
+    fn run_command_line() {
+        let a = Args::parse([
+            "run", "--preset", "small-sim", "--engine", "cpu-mt", "--variant", "opt", "--batch",
+            "1000", "--slides", "20", "--alpha", "0.15", "--epsilon", "1e-5", "--top-bucket",
+            "10", "--seed", "7", "--threads", "4", "--walks-per-vertex", "2", "--counters",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("engine"), Some("cpu-mt"));
+        assert_eq!(a.get_or("variant", "vanilla"), "opt");
+        assert_eq!(a.get_parsed("batch", 0usize).unwrap(), 1_000);
+        assert_eq!(a.get_parsed("slides", 0usize).unwrap(), 20);
+        assert_eq!(a.get_parsed("alpha", 0.0f64).unwrap(), 0.15);
+        assert_eq!(a.get_parsed("epsilon", 0.0f64).unwrap(), 1e-5);
+        assert_eq!(a.get_parsed("top-bucket", 0usize).unwrap(), 10);
+        assert_eq!(a.get_parsed("threads", 0usize).unwrap(), 4);
+        assert_eq!(a.get_parsed("walks-per-vertex", 0usize).unwrap(), 2);
+        assert!(a.flag("counters"));
+    }
+
+    #[test]
+    fn query_command_line() {
+        let a = Args::parse([
+            "query", "--graph", "edges.txt", "--source", "0", "--alpha", "0.2", "--epsilon",
+            "1e-4", "--top", "10", "--threshold", "0.001", "--save-state", "state.tsv",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.get_parsed("source", u32::MAX).unwrap(), 0);
+        assert_eq!(a.get_parsed("top", 0usize).unwrap(), 10);
+        assert_eq!(a.get_parsed("threshold", 0.0f64).unwrap(), 0.001);
+        assert_eq!(a.get("save-state"), Some("state.tsv"));
+    }
+
+    #[test]
+    fn exact_command_line() {
+        let a = Args::parse([
+            "exact", "--preset", "small-sim", "--undirected", "--source", "3", "--alpha",
+            "0.15", "--top", "5",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "exact");
+        assert_eq!(a.get("preset"), Some("small-sim"));
+        assert!(a.flag("undirected"));
+        assert_eq!(a.get_parsed("source", u32::MAX).unwrap(), 3);
+        assert_eq!(a.get_parsed("top", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn help_command_line() {
+        let a = Args::parse(["help"]).unwrap();
+        assert_eq!(a.command, "help");
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, "");
+    }
 }

@@ -13,8 +13,13 @@ use dppr::graph::{EdgeUpdate, DynamicGraph, GraphStream, SlidingWindow};
 
 fn main() {
     // A small scale-free social graph, streamed under the random edge
-    // permutation model with a 10% initial window.
-    let edges = undirected_to_directed(&barabasi_albert(2_000, 4, 7));
+    // permutation model with a 10% initial window. DPPR_EXAMPLE_N shrinks
+    // the graph (the CI smoke test runs with a tiny one).
+    let n: u32 = match std::env::var("DPPR_EXAMPLE_N") {
+        Ok(s) => s.parse().expect("DPPR_EXAMPLE_N must be a vertex count"),
+        Err(_) => 2_000,
+    };
+    let edges = undirected_to_directed(&barabasi_albert(n, 4, 7));
     let stream = GraphStream::directed(edges).permuted(42);
     let mut window = SlidingWindow::new(stream, 0.1);
 

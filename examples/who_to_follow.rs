@@ -33,7 +33,12 @@ fn recommend(
 fn main() {
     // A follower graph: preferential attachment gives the usual celebrity
     // hubs. Undirected friendship edges become two follow arcs.
-    let edges = undirected_to_directed(&barabasi_albert(3_000, 5, 99));
+    // DPPR_EXAMPLE_N shrinks the graph (the CI smoke test runs tiny).
+    let n: u32 = match std::env::var("DPPR_EXAMPLE_N") {
+        Ok(s) => s.parse().expect("DPPR_EXAMPLE_N must be a vertex count"),
+        Err(_) => 3_000,
+    };
+    let edges = undirected_to_directed(&barabasi_albert(n, 5, 99));
     let stream = GraphStream::directed(edges).permuted(1);
     let mut window = SlidingWindow::new(stream, 0.2);
 

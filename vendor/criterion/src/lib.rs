@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small API-compatible shim instead (see `vendor/README.md`).
+//! It is a *functional* harness, not just a compile stub: `cargo bench`
+//! runs each registered benchmark for a fixed number of timed samples
+//! and prints median / mean per-iteration wall time as TSV. There is no
+//! statistical analysis, outlier rejection, HTML report, or baseline
+//! comparison — swap the real crate back in for publication-grade
+//! numbers once a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for compatibility. The
+/// shim always re-runs setup per batch of one iteration, which is
+/// `BatchSize::PerIteration` semantics — correct for every call site in
+/// this workspace (they use setup to reset mutated state).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+}
+
+/// Throughput annotation; recorded and echoed in the output line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one("", &id.to_string(), sample_size, None, &mut f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+        self.iters_per_sample = 1;
+    }
+
+    /// Times `routine` on a fresh `setup()` input per sample; setup time
+    /// is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.samples.capacity() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+        self.iters_per_sample = 1;
+    }
+
+    /// Like `iter_batched` but the routine mutates the input in place.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        for _ in 0..self.samples.capacity() {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+        self.iters_per_sample = 1;
+    }
+
+    /// The closure measures `iters` iterations itself and returns the
+    /// total elapsed time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        const ITERS: u64 = 3;
+        for _ in 0..self.samples.capacity() {
+            self.samples.push(f(ITERS));
+        }
+        self.iters_per_sample = ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("{label}\t(no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("\t{:.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) => format!("\t{:.0} B/s", n as f64 / median),
+        None => String::new(),
+    };
+    println!(
+        "{label}\tmedian {:.3} ms\tmean {:.3} ms\tsamples {}{tp}",
+        median * 1e3,
+        mean * 1e3,
+        per_iter.len()
+    );
+}
+
+/// Registers benchmark functions under a group name, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

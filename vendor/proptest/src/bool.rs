@@ -1,0 +1,37 @@
+//! `prop::bool` — boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniform boolean, as in `prop::bool::ANY`.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted { p }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.p)
+    }
+}

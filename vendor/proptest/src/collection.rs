@@ -1,0 +1,146 @@
+//! `prop::collection` — collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Size specification for [`vec`]: an exact length or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty proptest size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// `prop::collection::vec(element, size)` — a `Vec` of generated elements.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::btree_set(element, size)` — a `BTreeSet` with a
+/// size drawn from `size`. Duplicates are retried a bounded number of
+/// times, then the (smaller) set is returned, matching real proptest's
+/// tolerance for narrow element domains.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = std::collections::BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        let mut set = std::collections::BTreeSet::new();
+        let mut tries = 0;
+        while set.len() < target && tries < 10 * target.max(1) {
+            set.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        set
+    }
+}
+
+/// `prop::collection::hash_set(element, size)`, same semantics.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        let mut set = std::collections::HashSet::new();
+        let mut tries = 0;
+        while set.len() < target && tries < 10 * target.max(1) {
+            set.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        set
+    }
+}

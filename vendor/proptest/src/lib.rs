@@ -1,0 +1,123 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small API-compatible shim instead (see `vendor/README.md`).
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro, with an optional
+//!   `#![proptest_config(ProptestConfig { .. })]` header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies: integer and float ranges, tuples (arity ≤ 4),
+//!   [`strategy::Just`], `prop::collection::vec`, `prop::bool::weighted`,
+//!   `prop::bool::ANY`, and [`strategy::Strategy::prop_map`].
+//!
+//! Differences from real proptest:
+//!
+//! * **No shrinking.** A failing case reports its case index and RNG
+//!   seed instead of a minimized input; rerun with
+//!   `PROPTEST_STUB_SEED=<seed>` to replay just that case.
+//! * **Deterministic by construction.** Case seeds are derived from the
+//!   test name, the case index, and `Config::rng_seed` (default 0) — no
+//!   wall-clock entropy, so CI runs are reproducible without
+//!   `proptest-regressions` files.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy modules, re-exported under `prop::` by the prelude as in
+/// the real crate.
+pub mod bool;
+pub mod collection;
+pub mod num;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias used as `prop::collection::vec(..)` etc.
+    pub mod prop {
+        pub use crate::{bool, collection, num};
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run(&config, stringify!($name), |__stub_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __stub_rng);)+
+                    let __stub_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __stub_result
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), format!($($fmt)+), lhs, rhs
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs
+        );
+    }};
+}

@@ -1,0 +1,32 @@
+//! `prop::num` — numeric strategy helpers.
+//!
+//! Ranges themselves already implement [`crate::strategy::Strategy`];
+//! this module only hosts the full-domain constants mirroring the real
+//! crate's `prop::num::<type>::ANY`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+macro_rules! any_mod {
+    ($($m:ident : $t:ty),*) => {$(
+        pub mod $m {
+            use super::*;
+
+            #[derive(Clone, Copy, Debug)]
+            pub struct Any;
+
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        }
+    )*};
+}
+
+any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64);

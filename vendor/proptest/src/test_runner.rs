@@ -1,0 +1,123 @@
+//! The case runner and its configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-case RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Mirror of `proptest::test_runner::Config`, restricted to the fields
+/// this workspace sets. Extra fields exist so `..Config::default()`
+/// struct-update syntax keeps working if more are named later.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Base seed mixed into every per-case seed. The default of 0 gives
+    /// a fixed, reproducible stream per (test name, case index).
+    pub rng_seed: u64,
+    /// Accepted for compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            // The real crate defaults to 256; the stub keeps that so
+            // suites that want a cheaper tier-1 must opt down explicitly.
+            cases: 256,
+            rng_seed: 0,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl Config {
+    /// `ProptestConfig::with_cases(n)` from the real API.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a case failed. The stub only distinguishes failure from
+/// rejection for API compatibility; rejections abort the test too.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// FNV-1a, used to fold the test name into the seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn case_seed(config: &Config, name: &str, case: u32) -> u64 {
+    config
+        .rng_seed
+        .wrapping_add(fnv1a(name))
+        .wrapping_add((case as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Runs `body` for `config.cases` deterministic cases. Panics (failing
+/// the enclosing `#[test]`) on the first case that returns an error,
+/// reporting the case index and replay seed.
+pub fn run<F>(config: &Config, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Replay hook: run exactly one case with the given seed.
+    if let Ok(seed) = std::env::var("PROPTEST_STUB_SEED") {
+        let seed: u64 = seed
+            .parse()
+            .expect("PROPTEST_STUB_SEED must be a u64 seed printed by a failure");
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!("[{name}] replayed case (seed {seed}) failed: {e}");
+        }
+        return;
+    }
+    for case in 0..config.cases {
+        let seed = case_seed(config, name, case);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(m)) => {
+                panic!("[{name}] case {case}/{} rejected: {m} (the stub does not resample; loosen the strategy)", config.cases)
+            }
+            Err(TestCaseError::Fail(m)) => {
+                panic!(
+                    "[{name}] case {case}/{} failed (replay with PROPTEST_STUB_SEED={seed}): {m}",
+                    config.cases
+                )
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — small, fast, decent statistical quality; the same
+/// algorithm family the real `rand::rngs::SmallRng` uses on 64-bit
+/// targets. Not cryptographically secure.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [
+                0x9E3779B97F4A7C15,
+                0x6A09E667F3BCC909,
+                0xBB67AE8584CAA73B,
+                0x3C6EF372FE94F82B,
+            ];
+        }
+        SmallRng { s }
+    }
+}
+
+/// Alias so code written against `StdRng` also compiles; statistical
+/// quality is the same as [`SmallRng`] in this stub.
+pub type StdRng = SmallRng;

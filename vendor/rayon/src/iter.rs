@@ -1,0 +1,417 @@
+//! The parallel-iterator shim.
+//!
+//! [`ParIter`] is eager: every adaptor materializes its input, and the
+//! work-performing combinators (`map`, `filter`, `for_each`, `fold`)
+//! execute immediately — across scoped threads when the input is large
+//! enough (see [`crate::PARALLEL_THRESHOLD`]), inline otherwise. The
+//! closure bounds mirror real rayon's (`Fn + Sync`, items `Send`) so code
+//! written against the real crate compiles unchanged.
+
+use crate::{current_num_threads, PARALLEL_THRESHOLD};
+
+/// An eagerly-evaluated stand-in for rayon's parallel iterators.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+/// Splits `items` into `parts` contiguous chunks of near-equal size,
+/// preserving order.
+fn split<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let mut out = Vec::with_capacity(parts);
+    // Peel chunks off the back so each split_off is O(chunk).
+    let mut remaining = n;
+    let mut sizes = Vec::with_capacity(parts);
+    for i in 0..parts {
+        let size = remaining / (parts - i);
+        sizes.push(size);
+        remaining -= size;
+    }
+    for &size in sizes.iter().rev() {
+        out.push(items.split_off(items.len() - size));
+    }
+    out.reverse();
+    out
+}
+
+/// Runs `work` over each chunk on its own scoped thread, preserving
+/// chunk order in the result.
+fn run_chunks<T, R, W>(chunks: Vec<Vec<T>>, work: W) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    W: Fn(Vec<T>) -> R + Sync,
+{
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || work(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}
+
+impl<T> ParIter<T> {
+    pub(crate) fn from_vec(items: Vec<T>) -> Self {
+        ParIter { items, min_len: 1 }
+    }
+
+    /// Number of chunks to fan out into; 1 means "run inline".
+    fn fanout(&self) -> usize {
+        let n = self.items.len();
+        if n < PARALLEL_THRESHOLD.max(2 * self.min_len) {
+            return 1;
+        }
+        (n / self.min_len.max(1)).clamp(1, current_num_threads())
+    }
+
+    /// Sets the minimum chunk granularity, as in rayon.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel map; preserves input order like rayon's `map().collect()`.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let parts = self.fanout();
+        let min_len = self.min_len;
+        let mapped = if parts <= 1 {
+            self.items.into_iter().map(f).collect()
+        } else {
+            run_chunks(split(self.items, parts), |chunk| {
+                chunk.into_iter().map(&f).collect::<Vec<R>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        ParIter {
+            items: mapped,
+            min_len,
+        }
+    }
+
+    /// Parallel filter; preserves order.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        T: Send,
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        let parts = self.fanout();
+        let min_len = self.min_len;
+        let kept = if parts <= 1 {
+            self.items.into_iter().filter(|x| f(x)).collect()
+        } else {
+            run_chunks(split(self.items, parts), |chunk| {
+                chunk.into_iter().filter(|x| f(x)).collect::<Vec<T>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        ParIter {
+            items: kept,
+            min_len,
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn(T) + Sync + Send,
+    {
+        let parts = self.fanout();
+        if parts <= 1 {
+            self.items.into_iter().for_each(f);
+        } else {
+            run_chunks(split(self.items, parts), |chunk| {
+                chunk.into_iter().for_each(&f)
+            });
+        }
+    }
+
+    /// Parallel fold: one accumulator per chunk, exactly like rayon
+    /// produces one accumulator per split. Pair with [`ParIter::reduce`].
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        T: Send,
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, T) -> A + Sync + Send,
+    {
+        let parts = self.fanout();
+        let min_len = self.min_len;
+        let accs = if parts <= 1 {
+            vec![self.items.into_iter().fold(identity(), fold_op)]
+        } else {
+            run_chunks(split(self.items, parts), |chunk| {
+                chunk.into_iter().fold(identity(), &fold_op)
+            })
+        };
+        ParIter {
+            items: accs,
+            min_len,
+        }
+    }
+
+    /// Reduces the remaining items (typically per-chunk accumulators from
+    /// [`ParIter::fold`]) with `op`, seeded by `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len,
+        }
+    }
+
+    /// Zips with another parallel iterator (rayon's `IndexedParallelIterator::zip`).
+    pub fn zip<U>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+            min_len,
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+}
+
+impl<'a, U: Copy + 'a> ParIter<&'a U> {
+    /// rayon's `copied()`.
+    pub fn copied(self) -> ParIter<U> {
+        let min_len = self.min_len;
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+            min_len,
+        }
+    }
+
+    /// rayon's `cloned()` (for `Copy` types the two coincide).
+    pub fn cloned(self) -> ParIter<U> {
+        self.copied()
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter::from_vec(self.into_iter().collect())
+    }
+}
+
+/// `par_iter()` on `&C`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
+    }
+}
+
+/// `par_iter_mut()` on `&mut C`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter::from_vec(self.chunks(chunk_size).collect())
+    }
+}
+
+/// Sorting members of rayon's `ParallelSliceMut`. The shim delegates to
+/// the standard library's (sequential) sorts — pattern-defeating
+/// quicksort is fast enough for every workload in this workspace.
+pub trait ParallelSliceMut<T> {
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
+
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, f: F) {
+        self.sort_unstable_by(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order_above_threshold() {
+        let n = PARALLEL_THRESHOLD * 4;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..n).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything_in_parallel() {
+        let n = PARALLEL_THRESHOLD * 4;
+        let counter = AtomicUsize::new(0);
+        (0..n)
+            .into_par_iter()
+            .for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let v: Vec<u64> = (0..(PARALLEL_THRESHOLD as u64 * 3)).collect();
+        let total = v
+            .par_iter()
+            .with_min_len(64)
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn filter_and_copied() {
+        let v: Vec<u32> = (0..100).collect();
+        let evens: Vec<u32> = v.par_iter().filter(|&&x| x % 2 == 0).copied().collect();
+        assert_eq!(evens, (0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_mut_refs() {
+        let a = vec![1u32, 2, 3];
+        let mut b = vec![10u32, 20, 30];
+        a.par_iter()
+            .zip(b.par_iter_mut())
+            .for_each(|(x, slot)| *slot += *x);
+        assert_eq!(b, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_chunks_covers_slice() {
+        let v: Vec<u32> = (0..10).collect();
+        let sizes: Vec<usize> = v.par_chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            (0..PARALLEL_THRESHOLD * 2)
+                .into_par_iter()
+                .for_each(|x| assert!(x < PARALLEL_THRESHOLD, "boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small API-compatible shim instead (see `vendor/README.md`).
+//! Unlike a pure sequential fake, the hot combinators (`for_each`, `map`,
+//! `filter`, `fold`) really do fan out across OS threads via
+//! [`std::thread::scope`] once the input is large enough to amortize
+//! thread spawning; below [`PARALLEL_THRESHOLD`] they run inline, which
+//! keeps the many small pushes in the test suites fast.
+//!
+//! Differences from real rayon that callers should know about:
+//!
+//! * There is no work-stealing pool: threads are spawned per call, so
+//!   [`ThreadPool::install`] cannot cap the parallelism of shim
+//!   combinators (it just runs the closure). The thread-scaling
+//!   experiments are therefore flat until real rayon is swapped back in
+//!   — the manifests keep the real crate's API so that swap is a
+//!   one-line change once a registry is reachable.
+//! * `fold` produces one accumulator per chunk (as real rayon produces
+//!   one per split), so `fold(..).reduce(..)` call sites keep their
+//!   semantics, including merge-order nondeterminism above the
+//!   threshold.
+
+use std::thread;
+
+pub mod iter;
+pub mod prelude;
+
+pub use iter::ParIter;
+
+/// Inputs shorter than this run inline; longer ones fan out. Chosen so
+/// the per-call `thread::scope` cost (~tens of µs) stays well under 1% of
+/// the chunk work for the workloads in `crates/bench`.
+pub const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Number of worker threads a fanned-out call uses.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `a` and `b`, in parallel when both sides are worth it. Provided
+/// for API compatibility; the shim always runs them on two threads.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// Stand-in for `rayon::ThreadPool`. Holds the requested thread count for
+/// introspection but cannot cap shim combinators (see module docs).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Stand-in for `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; the shim never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in the rayon shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}

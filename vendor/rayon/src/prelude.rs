@@ -1,0 +1,6 @@
+//! `rayon::prelude` — the traits callers import with `use rayon::prelude::*`.
+
+pub use crate::iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+    ParallelSliceMut,
+};
