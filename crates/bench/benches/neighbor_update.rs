@@ -39,7 +39,7 @@ fn bench_neighbor_update(c: &mut Criterion) {
                     let scaled = (1.0 - alpha) * w;
                     for &v in g.in_neighbors(u) {
                         residuals[v as usize]
-                            .fetch_add(scaled / g.out_degree(v) as f64);
+                            .fetch_add(scaled * g.inv_out_degree(v));
                     }
                 });
             },
@@ -58,7 +58,7 @@ fn bench_neighbor_update(c: &mut Criterion) {
                     .fold(Vec::new, |mut acc, &(u, w)| {
                         let scaled = (1.0 - alpha) * w;
                         for &v in g.in_neighbors(u) {
-                            acc.push((v, scaled / g.out_degree(v) as f64));
+                            acc.push((v, scaled * g.inv_out_degree(v)));
                         }
                         acc
                     })

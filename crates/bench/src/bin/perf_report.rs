@@ -1,0 +1,191 @@
+//! `perf_report` — the machine-readable perf trajectory artifact.
+//!
+//! Times three things at `--quick` (default) or `--full` scale and writes
+//! the results as JSON (default: `BENCH_<pr>.json` at the repo root where
+//! `--pr N` defaults to 2; override the path entirely with `--out PATH`):
+//!
+//! * **batch ingest** — duplicate-checked ingest of a 100k-edge raw R-MAT
+//!   stream on the degree-adaptive path vs the linear-scan baseline (the
+//!   same stream as the `graph_ingest` criterion bench);
+//! * **update throughput** — sliding-window updates/second per engine
+//!   (CPU-Seq, CPU-MT[Opt], Monte-Carlo, Ligra);
+//! * **push latency** — mean and max per-slide engine latency.
+//!
+//! The JSON is a trend artifact, not a CI gate: no thresholds are
+//! enforced, the numbers exist so the perf trajectory across PRs is
+//! inspectable. Regenerate with
+//! `cargo run --release -p dppr-bench --bin perf_report -- --quick`.
+
+use dppr_bench::{ms, run_engine, EngineKind, ExperimentScale, Workload};
+use dppr_core::PushVariant;
+use dppr_graph::generators::{rmat_stream, RmatParams};
+use dppr_graph::{presets, DynamicGraph};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Same stream as `benches/graph_ingest.rs`: source-skewed,
+/// destination-broad R-MAT arrivals with duplicates kept.
+const INGEST_SCALE: u32 = 14;
+const INGEST_EDGES: usize = 100_000;
+const INGEST_SKEW: RmatParams = RmatParams { a: 0.57, b: 0.40, c: 0.02, d: 0.01 };
+
+fn time_ingest(edges: &[(u32, u32)], linear_scan: bool) -> f64 {
+    // Best of 3, so one scheduler hiccup does not pollute the artifact.
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let mut g = if linear_scan {
+            DynamicGraph::new_linear_scan()
+        } else {
+            DynamicGraph::new()
+        };
+        let start = Instant::now();
+        for &(u, v) in edges {
+            g.insert_edge(u, v);
+        }
+        std::hint::black_box(g.num_edges());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct EngineRow {
+    name: String,
+    slides: usize,
+    total_updates: usize,
+    updates_per_sec: f64,
+    mean_push_latency_ms: f64,
+    max_push_latency_ms: f64,
+    pushes: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = ExperimentScale::from_args();
+    // The PR index labels the artifact and names the default output file
+    // (`BENCH_<pr>.json` at the repo root), so later PRs can regenerate
+    // their own trend point with `--pr N` instead of clobbering this one.
+    let pr: u32 = match args.iter().position(|a| a == "--pr") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--pr requires a number")
+            .parse()
+            .expect("--pr requires a number"),
+        None => 2,
+    };
+    let out_path: PathBuf = match args.iter().position(|a| a == "--out") {
+        Some(i) => PathBuf::from(
+            args.get(i + 1).expect("--out requires a path argument"),
+        ),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("../../BENCH_{pr}.json")),
+    };
+
+    // --- batch ingest -----------------------------------------------------
+    let stream = rmat_stream(INGEST_SCALE, INGEST_EDGES, INGEST_SKEW, 0xD0D0);
+    let adaptive_s = time_ingest(&stream, false);
+    let linear_s = time_ingest(&stream, true);
+    let n = stream.len() as f64;
+    eprintln!(
+        "ingest: adaptive {:.2} ms ({:.0} edges/s), linear-scan {:.2} ms, speedup {:.1}x",
+        adaptive_s * 1e3,
+        n / adaptive_s,
+        linear_s * 1e3,
+        linear_s / adaptive_s
+    );
+
+    // --- engines ----------------------------------------------------------
+    let (dataset, slides, batch) = match scale {
+        ExperimentScale::Quick => (presets::small_sim(), 10, 500),
+        ExperimentScale::Full => (presets::youtube_sim(), 50, 1_000),
+    };
+    let workload = Workload::prepare(dataset, 7, 0.1, 10);
+    let kinds = [
+        EngineKind::CpuSeq,
+        EngineKind::CpuMt(PushVariant::OPT),
+        EngineKind::MonteCarlo { walks_per_vertex: 1 },
+        EngineKind::Ligra,
+    ];
+    let mut rows: Vec<EngineRow> = Vec::new();
+    for kind in kinds {
+        let summary = run_engine(
+            kind,
+            &workload,
+            workload.epsilon(),
+            batch,
+            slides,
+            Duration::from_secs(30),
+        );
+        let row = EngineRow {
+            name: kind.label(),
+            slides: summary.slides,
+            total_updates: summary.total_updates,
+            updates_per_sec: summary.throughput(),
+            mean_push_latency_ms: ms(summary.mean_latency()),
+            max_push_latency_ms: ms(summary.max_latency()),
+            pushes: summary.total_counters().pushes,
+        };
+        eprintln!(
+            "{}: {} slides, {:.0} updates/s, mean slide {:.3} ms, max {:.3} ms",
+            row.name, row.slides, row.updates_per_sec, row.mean_push_latency_ms,
+            row.max_push_latency_ms
+        );
+        rows.push(row);
+    }
+
+    // --- JSON -------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dppr-perf-report/v1\",\n");
+    json.push_str(&format!("  \"pr\": {pr},\n"));
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Full => "full",
+        }
+    ));
+    json.push_str("  \"ingest\": {\n");
+    json.push_str(&format!(
+        "    \"stream\": \"rmat_stream(scale={INGEST_SCALE}, m={INGEST_EDGES}, a={}, b={}, c={}, d={}, seed=0xD0D0)\",\n",
+        INGEST_SKEW.a, INGEST_SKEW.b, INGEST_SKEW.c, INGEST_SKEW.d
+    ));
+    json.push_str(&format!(
+        "    \"adaptive_edges_per_sec\": {:.0},\n",
+        n / adaptive_s
+    ));
+    json.push_str(&format!(
+        "    \"linear_scan_edges_per_sec\": {:.0},\n",
+        n / linear_s
+    ));
+    json.push_str(&format!(
+        "    \"adaptive_speedup\": {:.2}\n",
+        linear_s / adaptive_s
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"dataset\": \"{}\", \"batch\": {batch}, \"epsilon\": {} }},\n",
+        workload.name,
+        workload.epsilon()
+    ));
+    json.push_str("  \"engines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"slides\": {}, \"total_updates\": {}, \"updates_per_sec\": {:.0}, \"mean_push_latency_ms\": {:.3}, \"max_push_latency_ms\": {:.3}, \"pushes\": {} }}{}\n",
+            r.name,
+            r.slides,
+            r.total_updates,
+            r.updates_per_sec,
+            r.mean_push_latency_ms,
+            r.max_push_latency_ms,
+            r.pushes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!("{json}");
+    eprintln!("wrote {}", out_path.display());
+}

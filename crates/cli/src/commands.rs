@@ -78,6 +78,14 @@ pub fn info(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(out, "graph\t{name}").unwrap();
     writeln!(out, "active_vertices\t{}", g.active_vertices()).unwrap();
+    let ss = g.substrate_stats();
+    writeln!(out, "hub_vertices\t{}", ss.hub_vertices).unwrap();
+    writeln!(
+        out,
+        "pool_slots\t{} (live {}, dead {})",
+        ss.arena_slots, ss.live_slots, ss.dead_slots
+    )
+    .unwrap();
     write!(out, "{}", dppr_graph::stats::degree_stats(&g)).unwrap();
     Ok(out)
 }

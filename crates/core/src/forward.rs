@@ -73,7 +73,8 @@ pub fn forward_push(
         pushes += 1;
         p[u as usize] += alpha * ru;
         r[u as usize] = 0.0;
-        let share = (1.0 - alpha) * ru / dout as f64;
+        // dout > 0 was checked above, so the maintained 1/dout is non-zero.
+        let share = (1.0 - alpha) * ru * g.inv_out_degree(u);
         for &v in g.out_neighbors(u) {
             r[v as usize] += share;
             let dv = g.out_degree(v);
@@ -114,8 +115,8 @@ pub fn sweep_cut(g: &DynamicGraph, p: &[f64]) -> Option<SweepCut> {
         return None;
     }
     order.sort_by(|&a, &b| {
-        let ka = p[a as usize] / g.out_degree(a) as f64;
-        let kb = p[b as usize] / g.out_degree(b) as f64;
+        let ka = p[a as usize] * g.inv_out_degree(a);
+        let kb = p[b as usize] * g.inv_out_degree(b);
         kb.partial_cmp(&ka).unwrap().then(a.cmp(&b))
     });
 

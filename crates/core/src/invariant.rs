@@ -64,6 +64,11 @@ pub fn restore_invariant_with_degree(
 
     let numerator =
         (1.0 - alpha) * state.p(v) - state.p(u) - alpha * state.r(u) + indicator;
+    // This division is per-*update*, not per-edge, and `dout_after` is a
+    // historical degree (the d_j(u) of Lemma 3) that the graph's maintained
+    // `inv_out_degree` cannot supply mid-replay. It also keeps the serial
+    // and parallel restore paths bit-identical — do not rewrite it as a
+    // multiply by a cached reciprocal.
     let delta = numerator / (alpha * dout_after as f64);
     state.set_r(u, state.r(u) + op.sign() * delta);
 }
@@ -144,9 +149,8 @@ pub fn max_invariant_violation(g: &DynamicGraph, state: &PprState) -> f64 {
     let alpha = cfg.alpha;
     let mut worst: f64 = 0.0;
     for w in 0..g.num_vertices() as VertexId {
-        let dout = g.out_degree(w) as f64;
         let indicator = if w == cfg.source { alpha } else { 0.0 };
-        let rhs = if dout == 0.0 {
+        let rhs = if g.out_degree(w) == 0 {
             indicator
         } else {
             let sum: f64 = g
@@ -154,7 +158,7 @@ pub fn max_invariant_violation(g: &DynamicGraph, state: &PprState) -> f64 {
                 .iter()
                 .map(|&x| state.p(x))
                 .sum();
-            (1.0 - alpha) * sum / dout + indicator
+            (1.0 - alpha) * sum * g.inv_out_degree(w) + indicator
         };
         let lhs = state.p(w) + alpha * state.r(w);
         worst = worst.max((lhs - rhs).abs());

@@ -119,9 +119,11 @@ impl Ctx<'_> {
         acc.lc.pushes += 1;
         let scaled = (1.0 - self.alpha) * w;
         let r = self.state.r_atomics();
+        // Division-free inner loop: multiply by the graph-maintained 1/dout
+        // (v has the edge v→u, so dout(v) ≥ 1).
         for &v in self.g.in_neighbors(u) {
             acc.lc.edge_traversals += 1;
-            let inc = scaled / self.g.out_degree(v) as f64;
+            let inc = scaled * self.g.inv_out_degree(v);
             let r_pre =
                 r[v as usize].fetch_add_counting(inc, &mut acc.lc.cas_retries);
             acc.lc.atomic_adds += 1;
@@ -401,7 +403,7 @@ pub fn parallel_push_lockstep(
                     touched.push(u);
                 }
                 for &v in g.in_neighbors(u) {
-                    state.set_r(v, state.r(v) + scaled / g.out_degree(v) as f64);
+                    state.set_r(v, state.r(v) + scaled * g.inv_out_degree(v));
                     if !touched_flag[v as usize] {
                         touched_flag[v as usize] = true;
                         touched.push(v);

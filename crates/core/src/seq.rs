@@ -56,9 +56,11 @@ fn seq_push(
     state.set_r(u, 0.0);
     lc.pushes += 1;
     let scaled = (1.0 - alpha) * w;
+    // Division-free inner loop: `inv_out_degree` is the graph-maintained
+    // 1/dout (see the dppr-graph docs); v has the edge v→u so dout(v) ≥ 1.
     for &v in g.in_neighbors(u) {
         lc.edge_traversals += 1;
-        state.set_r(v, state.r(v) + scaled / g.out_degree(v) as f64);
+        state.set_r(v, state.r(v) + scaled * g.inv_out_degree(v));
     }
 }
 

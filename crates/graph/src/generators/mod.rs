@@ -15,7 +15,7 @@ mod rmat;
 
 pub use ba::barabasi_albert;
 pub use er::erdos_renyi;
-pub use rmat::{rmat, RmatParams};
+pub use rmat::{rmat, rmat_stream, RmatParams};
 
 use crate::types::VertexId;
 

@@ -50,6 +50,33 @@ pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Vec<(VertexI
     edges
 }
 
+/// Samples `m` raw directed edges (self-loops rejected, **duplicates
+/// kept**) from the R-MAT distribution — an edge *stream* rather than an
+/// edge *set*. Real ingestion workloads present repeated edges (the
+/// paper's update model treats a re-inserted edge as a no-op), and on a
+/// skewed stream those repeats concentrate on the hubs, which is exactly
+/// what duplicate-checked ingest has to absorb. Used by the
+/// `graph_ingest` benchmark and the `perf_report` ingest probe.
+pub fn rmat_stream(
+    scale: u32,
+    m: usize,
+    params: RmatParams,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let (u, v) = sample_edge(scale, params, &mut rng);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
 fn sample_edge(scale: u32, p: RmatParams, rng: &mut SmallRng) -> (VertexId, VertexId) {
     let mut u: u64 = 0;
     let mut v: u64 = 0;

@@ -28,6 +28,6 @@ pub mod stream;
 pub mod types;
 
 pub use csr::CsrGraph;
-pub use dynamic::DynamicGraph;
+pub use dynamic::{DynamicGraph, SubstrateStats};
 pub use stream::{GraphStream, SlidingWindow};
 pub use types::{EdgeOp, EdgeUpdate, VertexId};

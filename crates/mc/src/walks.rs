@@ -287,7 +287,7 @@ pub fn endpoint_distribution(
             } else {
                 stopped[u] += alpha * m;
                 remaining -= alpha * m;
-                let share = (1.0 - alpha) * m / d as f64;
+                let share = (1.0 - alpha) * m * g.inv_out_degree(u as VertexId);
                 for &v in g.out_neighbors(u as VertexId) {
                     next[v as usize] += share;
                 }

@@ -17,6 +17,9 @@ pub struct SlideRecord {
     pub latency: Duration,
     /// Counter deltas for the batch.
     pub counters: CounterSnapshot,
+    /// The paper's `|V^t|` after the slide — vertices with non-zero
+    /// degree. O(1) to record (the graph maintains the count).
+    pub active_vertices: usize,
 }
 
 /// Aggregate of a streaming run.
@@ -151,6 +154,7 @@ impl StreamDriver {
                 applied: stats.applied,
                 latency: stats.latency,
                 counters: stats.counters,
+                active_vertices: self.graph.active_vertices(),
             });
         }
         summary
@@ -189,6 +193,7 @@ impl StreamDriver {
                 applied: stats.applied,
                 latency: stats.latency,
                 counters: stats.counters,
+                active_vertices: self.graph.active_vertices(),
             });
             slide += 1;
         }
@@ -273,5 +278,21 @@ mod tests {
         let total = summary.total_counters();
         assert_eq!(total.batches, 5);
         assert!(total.restore_ops > 0);
+    }
+
+    #[test]
+    fn records_track_active_vertices() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = SeqEngine::new(PprConfig::new(0, 0.2, 1e-2), UpdateMode::Batched);
+        d.bootstrap(&mut e);
+        let summary = d.run_slides(&mut e, 50, 3);
+        for r in &summary.records {
+            assert!(r.active_vertices > 0);
+            assert!(r.active_vertices <= d.graph().num_vertices());
+        }
+        assert_eq!(
+            summary.records.last().unwrap().active_vertices,
+            d.graph().active_vertices()
+        );
     }
 }

@@ -100,8 +100,10 @@ impl LigraEngine {
                     Direction::In,
                     self.opts,
                     |u, v| {
+                        // Division-free: multiply by the graph-maintained
+                        // 1/dout (v has the edge v→u, so dout(v) ≥ 1).
                         let inc =
-                            (1.0 - alpha) * ws[u as usize].load() / g.out_degree(v) as f64;
+                            (1.0 - alpha) * ws[u as usize].load() * g.inv_out_degree(v);
                         let r_cur = state.r_atomics()[v as usize].fetch_add(inc) + inc;
                         phase.active(r_cur, eps)
                             && !claimed[v as usize].swap(true, Ordering::Relaxed)
@@ -109,7 +111,7 @@ impl LigraEngine {
                     |u, v| {
                         // Dense: one task owns v, plain update is fine.
                         let inc =
-                            (1.0 - alpha) * ws[u as usize].load() / g.out_degree(v) as f64;
+                            (1.0 - alpha) * ws[u as usize].load() * g.inv_out_degree(v);
                         let r = &state.r_atomics()[v as usize];
                         let r_cur = r.load() + inc;
                         r.store(r_cur);
