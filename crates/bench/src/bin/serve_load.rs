@@ -1,0 +1,239 @@
+//! `serve_load` — closed-loop load generator for the serving subsystem.
+//!
+//! Starts a `dppr-serve` instance in-process on an ephemeral port over a
+//! generated stream, then hammers it with mixed query traffic (top-k 40%,
+//! score 40%, threshold 10%, compare 10%) from several closed-loop client
+//! threads **while the write loop slides the update window** — the
+//! serving-layer analogue of the paper's "edges consumed per second under
+//! load" methodology. Reports queries/sec, p50/p99 query latency, cache
+//! hit rate, and the update throughput sustained under read load, as JSON
+//! (default `BENCH_3.json` at the repo root; `--pr N` / `--out PATH`
+//! relabel it, `--full` scales the run up).
+
+use dppr_bench::ExperimentScale;
+use dppr_graph::generators::{rmat_stream, RmatParams};
+use dppr_graph::GraphStream;
+use dppr_serve::{start, ServeConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const MIX: &str = "topk 0.4, score 0.4, threshold 0.1, compare 0.1";
+
+struct LoadSpec {
+    clients: usize,
+    duration: Duration,
+    scale: u32,
+    edges: usize,
+    sessions: usize,
+    threads: usize,
+    batch: usize,
+}
+
+fn one_query(
+    addr: SocketAddr,
+    rng: &mut SmallRng,
+    sources: &[u32],
+    n: usize,
+) -> Result<Duration, String> {
+    let source = sources[rng.gen_range(0..sources.len())];
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    let target = if roll < 0.4 {
+        format!("/topk?source={source}&k={}", rng.gen_range(5..25usize))
+    } else if roll < 0.8 {
+        format!("/score?source={source}&v={}", rng.gen_range(0..n as u32))
+    } else if roll < 0.9 {
+        // A handful of distinct deltas so the cache sees repeats.
+        format!("/threshold?source={source}&delta=0.00{}", rng.gen_range(1..5u32))
+    } else {
+        format!(
+            "/compare?source={source}&a={}&b={}",
+            rng.gen_range(0..n as u32),
+            rng.gen_range(0..n as u32)
+        )
+    };
+    let t = Instant::now();
+    let mut conn = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    write!(conn, "GET {target} HTTP/1.0\r\nHost: dppr\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).map_err(|e| e.to_string())?;
+    if !resp.starts_with("HTTP/1.0 200") {
+        return Err(format!("non-200 for {target}: {}", resp.lines().next().unwrap_or("")));
+    }
+    Ok(t.elapsed())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 * 1e-6 // ns → ms
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = ExperimentScale::from_args();
+    let pr: u32 = match args.iter().position(|a| a == "--pr") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--pr requires a number")
+            .parse()
+            .expect("--pr requires a number"),
+        None => 3,
+    };
+    let out_path: PathBuf = match args.iter().position(|a| a == "--out") {
+        Some(i) => PathBuf::from(args.get(i + 1).expect("--out requires a path argument")),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{pr}.json")),
+    };
+    let spec = match scale {
+        ExperimentScale::Quick => LoadSpec {
+            clients: 4,
+            duration: Duration::from_secs(2),
+            scale: 12,
+            edges: 60_000,
+            sessions: 8,
+            threads: 4,
+            batch: 500,
+        },
+        ExperimentScale::Full => LoadSpec {
+            clients: 8,
+            duration: Duration::from_secs(10),
+            scale: 15,
+            edges: 400_000,
+            sessions: 16,
+            threads: 8,
+            batch: 1_000,
+        },
+    };
+
+    // --- server -----------------------------------------------------------
+    let raw = rmat_stream(spec.scale, spec.edges, RmatParams::default(), 0xBEEF);
+    let stream = GraphStream::directed(raw).permuted(7);
+    let sources = dppr_serve::pick_top_degree_sources(&stream, 0.1, spec.sessions);
+    let n = stream.vertex_bound();
+    let handle = start(
+        stream,
+        0.1,
+        &sources,
+        ServeConfig {
+            threads: spec.threads,
+            batch: spec.batch,
+            epsilon: 1e-4,
+            cache_capacity: 4_096,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.addr();
+    eprintln!(
+        "serving {} sessions over n={n} at {addr}; {} clients for {:?}",
+        sources.len(),
+        spec.clients,
+        spec.duration
+    );
+
+    // --- closed-loop clients ---------------------------------------------
+    let clients: Vec<_> = (0..spec.clients)
+        .map(|c| {
+            let sources = sources.clone();
+            let duration = spec.duration;
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xAB00 + c as u64);
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                let until = Instant::now() + duration;
+                while Instant::now() < until {
+                    match one_query(addr, &mut rng, &sources, n) {
+                        Ok(lat) => latencies_ns.push(lat.as_nanos() as u64),
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("client {c}: {e}");
+                        }
+                    }
+                }
+                (latencies_ns, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for c in clients {
+        let (mut l, e) = c.join().expect("client thread");
+        latencies.append(&mut l);
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let qps = total as f64 / spec.duration.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    // --- server-side numbers ---------------------------------------------
+    let report = handle.join();
+    eprintln!(
+        "{total} queries ({qps:.0}/s, p50 {p50:.3} ms, p99 {p99:.3} ms, {errors} errors); \
+         {} slides, {:.0} updates/s under load; cache hit rate {:.3}",
+        report.slides,
+        report.updates_per_sec,
+        report.cache.hit_rate()
+    );
+
+    // --- JSON -------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dppr-serve-load/v1\",\n");
+    json.push_str(&format!("  \"pr\": {pr},\n"));
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Full => "full",
+        }
+    ));
+    json.push_str(&format!(
+        "  \"server\": {{ \"stream\": \"rmat_stream(scale={}, m={}, seed=0xBEEF)\", \"vertices\": {n}, \"sessions\": {}, \"threads\": {}, \"batch\": {}, \"epsilon\": 1e-4, \"cache_capacity\": 4096 }},\n",
+        spec.scale,
+        spec.edges,
+        sources.len(),
+        spec.threads,
+        spec.batch
+    ));
+    json.push_str(&format!(
+        "  \"load\": {{ \"clients\": {}, \"duration_secs\": {}, \"mix\": \"{MIX}\" }},\n",
+        spec.clients,
+        spec.duration.as_secs()
+    ));
+    json.push_str(&format!(
+        "  \"queries\": {{ \"total\": {total}, \"per_sec\": {qps:.0}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"errors\": {errors} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.hit_rate()
+    ));
+    json.push_str(&format!(
+        "  \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n",
+        report.slides,
+        report.updates_offered,
+        report.updates_applied,
+        report.updates_per_sec, report.stream_done
+    ));
+    json.push_str(&format!("  \"epoch\": {}\n", report.epoch));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!("{json}");
+    eprintln!("wrote {}", out_path.display());
+
+    assert!(errors == 0, "{errors} failed queries during the load run");
+}

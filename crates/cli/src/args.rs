@@ -215,6 +215,41 @@ mod tests {
     }
 
     #[test]
+    fn serve_command_line() {
+        let a = Args::parse([
+            "serve", "--preset", "small-sim", "--port", "7171", "--threads", "4",
+            "--sources", "0,3,9", "--cache-capacity", "2048", "--session-capacity", "32",
+            "--alpha", "0.15", "--epsilon", "1e-4", "--batch", "500", "--max-slides",
+            "100", "--slide-pause-ms", "5", "--run-secs", "60", "--seed", "7",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.get_parsed("port", 0u16).unwrap(), 7171);
+        assert_eq!(a.get_parsed("threads", 0usize).unwrap(), 4);
+        assert_eq!(a.get("sources"), Some("0,3,9"));
+        assert_eq!(a.get_parsed("cache-capacity", 0usize).unwrap(), 2_048);
+        assert_eq!(a.get_parsed("session-capacity", 0usize).unwrap(), 32);
+        assert_eq!(a.get_parsed("alpha", 0.0f64).unwrap(), 0.15);
+        assert_eq!(a.get_parsed("epsilon", 0.0f64).unwrap(), 1e-4);
+        assert_eq!(a.get_parsed("batch", 0usize).unwrap(), 500);
+        assert_eq!(a.get_parsed("max-slides", 0usize).unwrap(), 100);
+        assert_eq!(a.get_parsed("slide-pause-ms", 0u64).unwrap(), 5);
+        assert_eq!(a.get_parsed("run-secs", 0u64).unwrap(), 60);
+
+        // An ephemeral-port line with top-degree source picking instead of
+        // an explicit list.
+        let a = Args::parse([
+            "serve", "--graph", "edges.txt", "--undirected", "--port", "0",
+            "--num-sources", "8",
+        ])
+        .unwrap();
+        assert_eq!(a.get_parsed("port", 7171u16).unwrap(), 0);
+        assert_eq!(a.get_parsed("num-sources", 4usize).unwrap(), 8);
+        assert!(a.flag("undirected"));
+        assert!(a.get("sources").is_none());
+    }
+
+    #[test]
     fn exact_command_line() {
         let a = Args::parse([
             "exact", "--preset", "small-sim", "--undirected", "--source", "3", "--alpha",

@@ -239,6 +239,101 @@ pub fn query(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses `--sources 0,3,9`, or picks `--num-sources K` top-out-degree
+/// vertices from the warmed initial window.
+fn serve_sources(args: &Args, stream: &GraphStream) -> Result<Vec<VertexId>, CliError> {
+    if let Some(raw) = args.get("sources") {
+        raw.split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<VertexId>()
+                    .map_err(|_| err(format!("bad vertex id in --sources: {t:?}")))
+            })
+            .collect()
+    } else {
+        let k: usize = args.get_parsed("num-sources", 4usize)?;
+        Ok(dppr_serve::pick_top_degree_sources(stream, SERVE_INIT_FRACTION, k))
+    }
+}
+
+/// The sliding-window warmup share `dppr serve` boots with, shared with
+/// the source-picking probe (see `dppr_serve::pick_top_degree_sources`).
+const SERVE_INIT_FRACTION: f64 = 0.1;
+
+/// `dppr serve` — the concurrent query-serving subsystem: background
+/// window slides + epoch-published snapshots + HTTP front end.
+///
+/// Prints `listening` and `sources` lines to stdout immediately (so
+/// scripts and the CI smoke test can find the ephemeral port), then blocks
+/// until `POST /shutdown` arrives or `--run-secs` elapses, and returns the
+/// final serve report.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    let (edges, undirected, name) = load_edges(args)?;
+    let seed: u64 = args.get_parsed("seed", 1u64)?;
+    let cfg = dppr_serve::ServeConfig {
+        port: args.get_parsed("port", 7171u16)?,
+        threads: args.get_parsed("threads", 4usize)?,
+        cache_capacity: args.get_parsed("cache-capacity", 1024usize)?,
+        session_capacity: args.get_parsed("session-capacity", 64usize)?,
+        alpha: args.get_parsed("alpha", 0.15f64)?,
+        epsilon: args.get_parsed("epsilon", 1e-4f64)?,
+        batch: args.get_parsed("batch", 500usize)?,
+        max_slides: args.get_parsed("max-slides", 0usize)?,
+        slide_pause: std::time::Duration::from_millis(
+            args.get_parsed("slide-pause-ms", 0u64)?,
+        ),
+    };
+    let run_secs: u64 = args.get_parsed("run-secs", 0u64)?;
+
+    let stream = if undirected {
+        GraphStream::undirected(edges)
+    } else {
+        GraphStream::directed(edges)
+    }
+    .permuted(seed);
+    let sources = serve_sources(args, &stream)?;
+
+    let handle = dppr_serve::start(stream, SERVE_INIT_FRACTION, &sources, cfg)
+        .map_err(|e| err(format!("starting server: {e}")))?;
+    let sources_csv = sources
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("listening\thttp://{}", handle.addr());
+    println!("graph\t{name}\nsources\t{sources_csv}");
+    let _ = std::io::stdout().flush();
+
+    let started = std::time::Instant::now();
+    while !handle.is_shutdown() {
+        if run_secs > 0 && started.elapsed().as_secs() >= run_secs {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = handle.join();
+
+    let mut out = String::new();
+    writeln!(out, "epoch\t{}", report.epoch).unwrap();
+    writeln!(
+        out,
+        "slides\t{}\nupdates_applied\t{}\nupdates_per_sec\t{:.0}",
+        report.slides, report.updates_applied, report.updates_per_sec
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "queries\t{}\ncache_hit_rate\t{:.3}\nsessions\t{}",
+        report.queries,
+        report.cache.hit_rate(),
+        report.sessions
+    )
+    .unwrap();
+    Ok(out)
+}
+
 /// `dppr exact` — Gauss–Jacobi ground truth.
 pub fn exact(args: &Args) -> Result<String, CliError> {
     let (edges, undirected, name) = load_edges(args)?;
@@ -321,6 +416,30 @@ mod tests {
             let out = run(&a).unwrap();
             assert!(out.contains(expect), "engine {engine}");
         }
+    }
+
+    #[test]
+    fn serve_runs_briefly_and_reports() {
+        let a = Args::parse([
+            "serve", "--preset", "toy", "--port", "0", "--threads", "2",
+            "--num-sources", "2", "--batch", "100", "--max-slides", "3",
+            "--run-secs", "1", "--epsilon", "1e-3",
+        ])
+        .unwrap();
+        let out = serve(&a).unwrap();
+        assert!(out.contains("slides\t3"), "{out}");
+        assert!(out.contains("updates_per_sec"), "{out}");
+        assert!(out.contains("cache_hit_rate"), "{out}");
+        assert!(out.contains("sessions\t2"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_sources() {
+        let a = Args::parse([
+            "serve", "--preset", "toy", "--port", "0", "--sources", "1,zebra",
+        ])
+        .unwrap();
+        assert!(serve(&a).is_err());
     }
 
     #[test]

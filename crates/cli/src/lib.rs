@@ -5,6 +5,7 @@
 //! dppr info     --preset lj-sim            # or --graph edges.txt
 //! dppr run      --preset small-sim --engine cpu-mt --batch 1000 --slides 20
 //! dppr query    --graph edges.txt --source 0 --epsilon 1e-5 --top 10
+//! dppr serve    --preset small-sim --port 7171 --threads 4 --num-sources 8
 //! dppr exact    --graph edges.txt --source 0 --top 10
 //! ```
 //!
@@ -23,6 +24,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "info" => commands::info(args),
         "run" => commands::run(args),
         "query" => commands::query(args),
+        "serve" => commands::serve(args),
         "exact" => commands::exact(args),
         "help" | "" => Ok(HELP.to_string()),
         other => Err(err(format!("unknown command {other:?}; try `dppr help`"))),
@@ -52,6 +54,18 @@ COMMANDS
              --graph FILE|--preset NAME [--undirected]
              --source V  --alpha A  --epsilon E  [--top K] [--threshold D]
              [--save-state FILE]
+  serve      Serve top-k/score/threshold/compare queries over HTTP while
+             the update stream slides in the background.
+             --graph FILE|--preset NAME [--undirected]
+             [--port P (7171; 0 = ephemeral)]  [--threads T]
+             [--sources 0,3,9 | --num-sources K]  [--cache-capacity N]
+             [--session-capacity N]  [--alpha A] [--epsilon E] [--batch K]
+             [--max-slides N]  [--slide-pause-ms MS]  [--run-secs S]
+             [--seed S]
+             Endpoints: /topk?source=S&k=K  /score?source=S&v=V
+             /threshold?source=S&delta=D  /compare?source=S&a=A&b=B
+             /sessions  /session/open?source=S  /session/close?source=S
+             /stats  /healthz  /shutdown
   exact      Ground-truth PPR via Gauss–Jacobi.
              --graph FILE|--preset NAME [--undirected] --source V [--alpha A] [--top K]
   help       This text.

@@ -61,6 +61,7 @@ pub use counters::{CounterSnapshot, Counters};
 pub use engine::{BatchStats, DynamicPprEngine, ParallelEngine, SeqEngine, UpdateMode};
 pub use ground_truth::exact_ppr;
 pub use invariant::{apply_update, max_invariant_violation, restore_invariant};
+pub use multi::MultiSourcePpr;
 pub use par::PushOpts;
 pub use state::PprState;
 pub use variants::PushVariant;

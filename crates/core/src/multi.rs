@@ -23,6 +23,8 @@ use rayon::prelude::*;
 pub struct MultiSourcePpr {
     states: Vec<PprState>,
     bufs: Vec<ParPushBuffers>,
+    alpha: f64,
+    epsilon: f64,
     variant: PushVariant,
     counters: Counters,
     seeds: Vec<VertexId>,
@@ -39,6 +41,8 @@ impl MultiSourcePpr {
         MultiSourcePpr {
             states,
             bufs,
+            alpha,
+            epsilon,
             variant,
             counters: Counters::new(),
             seeds: Vec::new(),
@@ -55,9 +59,41 @@ impl MultiSourcePpr {
         &self.states[i]
     }
 
+    /// The source vertex of the `i`-th maintained vector.
+    pub fn source(&self, i: usize) -> VertexId {
+        self.states[i].config().source
+    }
+
+    /// All maintained sources, in index order.
+    pub fn sources(&self) -> Vec<VertexId> {
+        self.states.iter().map(|s| s.config().source).collect()
+    }
+
     /// Cumulative counters across all sources.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Starts maintaining a new source against an **already-populated**
+    /// graph and returns its index: a [`PprState::cold_start`] state (which
+    /// satisfies the invariant on any graph) is pushed to convergence from
+    /// the unit residual at `source`. This is how the serving layer opens a
+    /// session mid-stream without replaying the graph's edge history.
+    pub fn add_source(&mut self, g: &DynamicGraph, source: VertexId) -> usize {
+        let cfg = PprConfig::new(source, self.alpha, self.epsilon);
+        let st = PprState::cold_start(cfg, g.num_vertices());
+        let mut bufs = ParPushBuffers::new();
+        parallel_local_push(g, &st, self.variant, &[source], &self.counters, &mut bufs);
+        self.states.push(st);
+        self.bufs.push(bufs);
+        self.states.len() - 1
+    }
+
+    /// Stops maintaining the `i`-th source (swap-remove: the last index
+    /// moves into `i`) and returns its source vertex.
+    pub fn remove_source(&mut self, i: usize) -> VertexId {
+        self.bufs.swap_remove(i);
+        self.states.swap_remove(i).config().source
     }
 
     /// Applies a batch: mutates the graph once, then repairs and pushes
@@ -109,25 +145,62 @@ impl MultiSourcePpr {
     }
 }
 
+/// Heap entry ordered so that the *worst* candidate is the heap maximum:
+/// lower score is greater, ties broken by higher id greater (the inverse of
+/// the answer order "descending score, ascending id").
+struct ByWorst(VertexId, f64);
+
+impl PartialEq for ByWorst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for ByWorst {}
+impl PartialOrd for ByWorst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByWorst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .1
+            .partial_cmp(&self.1)
+            .unwrap()
+            .then(self.0.cmp(&other.0))
+    }
+}
+
 /// Top-`k` entries of a score vector, descending (ties by ascending id).
+///
+/// Bounded max-k selection with a k-sized max-heap of the *worst* retained
+/// candidate: O(k) extra memory and, on randomly ordered scores, expected
+/// O(n + k log k) comparisons (once the heap is warm, a candidate beats the
+/// k-th best with probability ~k/i, so heap pushes are rare). This runs on
+/// every serving-layer query against an n-sized snapshot, where the
+/// previous `select_nth_unstable_by` formulation's O(n) index allocation
+/// per call was the dominant cost.
 pub fn top_k_of(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
     let k = k.min(scores.len());
     if k == 0 {
         return Vec::new();
     }
-    let cmp = |a: &VertexId, b: &VertexId| {
-        scores[*b as usize]
-            .partial_cmp(&scores[*a as usize])
-            .unwrap()
-            .then(a.cmp(b))
-    };
-    let mut idx: Vec<VertexId> = (0..scores.len() as VertexId).collect();
-    if k < idx.len() {
-        idx.select_nth_unstable_by(k - 1, cmp);
-        idx.truncate(k);
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    for (v, &p) in scores.iter().enumerate() {
+        let cand = ByWorst(v as VertexId, p);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().unwrap() {
+            // Strictly better than the current k-th best: replace it.
+            heap.pop();
+            heap.push(cand);
+        }
     }
-    idx.sort_by(cmp);
-    idx.into_iter().map(|v| (v, scores[v as usize])).collect()
+    // Ascending in `ByWorst` order = best first, the answer order.
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|ByWorst(v, p)| (v, p))
+        .collect()
 }
 
 #[cfg(test)]
@@ -193,5 +266,91 @@ mod tests {
         assert_eq!(top[2], (2, 0.3));
         assert_eq!(top_k_of(&scores, 0), vec![]);
         assert_eq!(top_k_of(&[], 5), vec![]);
+    }
+
+    /// The reference semantics `top_k_of` must preserve: full sort by
+    /// (descending score, ascending id), truncated to k.
+    fn top_k_by_full_sort(scores: &[f64], k: usize) -> Vec<(VertexId, f64)> {
+        let mut all: Vec<(VertexId, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| (v as VertexId, p))
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn top_k_heap_matches_full_sort_on_random_scores() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for n in [1usize, 2, 17, 200, 1000] {
+            // Coarse quantization forces plenty of exact ties, so the
+            // (score, id) tie-break is genuinely exercised.
+            let scores: Vec<f64> = (0..n)
+                .map(|_| (rng.gen_range(0..20) as f64) / 20.0)
+                .collect();
+            for k in [0usize, 1, 2, 7, n / 2, n, n + 10] {
+                assert_eq!(
+                    top_k_of(&scores, k),
+                    top_k_by_full_sort(&scores, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_source_on_populated_graph_is_epsilon_accurate() {
+        let mut multi = MultiSourcePpr::new(&[0], 0.2, 1e-3, PushVariant::OPT);
+        let mut g = DynamicGraph::new();
+        let edges = erdos_renyi(40, 400, 99);
+        let ins: Vec<EdgeUpdate> =
+            edges.iter().map(|&(u, v)| EdgeUpdate::insert(u, v)).collect();
+        multi.apply_batch(&mut g, &ins);
+        // Open a session for vertex 7 against the live graph.
+        let i = multi.add_source(&g, 7);
+        assert_eq!(i, 1);
+        assert_eq!(multi.source(i), 7);
+        assert_eq!(multi.sources(), vec![0, 7]);
+        assert!(max_invariant_violation(&g, multi.state(i)) < 1e-9);
+        let truth = exact_ppr(&g, 7, 0.2, 1e-12);
+        for v in 0..g.num_vertices() as VertexId {
+            assert!((multi.estimate(i, v) - truth[v as usize]).abs() <= 1e-3 + 1e-9);
+        }
+        // And the late-opened source keeps tracking subsequent batches.
+        let more: Vec<EdgeUpdate> = erdos_renyi(40, 80, 123)
+            .into_iter()
+            .map(|(u, v)| EdgeUpdate::insert(u, v))
+            .collect();
+        multi.apply_batch(&mut g, &more);
+        let truth = exact_ppr(&g, 7, 0.2, 1e-12);
+        for v in 0..g.num_vertices() as VertexId {
+            assert!((multi.estimate(i, v) - truth[v as usize]).abs() <= 1e-3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn remove_source_swaps_last_into_slot() {
+        let mut multi = MultiSourcePpr::new(&[0, 3, 7], 0.2, 1e-3, PushVariant::OPT);
+        assert_eq!(multi.remove_source(0), 0);
+        assert_eq!(multi.num_sources(), 2);
+        assert_eq!(multi.sources(), vec![7, 3]); // 7 swapped into index 0
+        // The survivors still update correctly.
+        let mut g = DynamicGraph::new();
+        let ins: Vec<EdgeUpdate> = erdos_renyi(20, 150, 5)
+            .into_iter()
+            .map(|(u, v)| EdgeUpdate::insert(u, v))
+            .collect();
+        multi.apply_batch(&mut g, &ins);
+        for i in 0..multi.num_sources() {
+            let s = multi.source(i);
+            let truth = exact_ppr(&g, s, 0.2, 1e-12);
+            for v in 0..g.num_vertices() as VertexId {
+                assert!((multi.estimate(i, v) - truth[v as usize]).abs() <= 1e-3 + 1e-9);
+            }
+        }
     }
 }

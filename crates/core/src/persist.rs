@@ -94,9 +94,28 @@ pub fn read_state<R: Read>(r: R) -> io::Result<PprState> {
     Ok(state)
 }
 
-/// Writes a snapshot to a file.
+/// Writes a snapshot to a file, crash-safely: the bytes go to a sibling
+/// `<name>.tmp` file which is fsynced and atomically renamed into place,
+/// so a crash mid-write leaves either the old snapshot or the new one —
+/// never a truncated hybrid.
 pub fn save_state<P: AsRef<Path>>(state: &PprState, path: P) -> io::Result<()> {
-    write_state(state, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| bad(format!("not a file path: {}", path.display())))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        write_state(state, &file)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads a snapshot from a file.
@@ -179,6 +198,31 @@ mod tests {
         save_state(&st, &path).unwrap();
         let back = load_state(&path).unwrap();
         assert_eq!(back.estimates(), st.estimates());
+        // The staging file was renamed away, not left behind.
+        assert!(!dir.join("state.dppr.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_overwrites_atomically_and_truncation_is_a_clean_error() {
+        let (_, st) = converged_pair();
+        let dir = std::env::temp_dir().join("dppr_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.dppr");
+        // Round-trip over an existing file (the rename overwrites).
+        save_state(&st, &path).unwrap();
+        save_state(&st, &path).unwrap();
+        let back = load_state(&path).unwrap();
+        assert_eq!(back.estimates(), st.estimates());
+        assert_eq!(back.residuals(), st.residuals());
+        // A torn file — what a non-atomic writer could leave after a crash
+        // — must come back as io::ErrorKind::InvalidData, not a panic.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_state(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A directory path is a clean error too.
+        assert!(save_state(&st, dir.join("..")).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -7,6 +7,11 @@
 //! that uncertainty instead of hiding it: results are split into vertices
 //! that are *certainly* in the answer and those that are only *possibly*
 //! in it.
+//!
+//! Each query exists in two forms: over a live [`PprState`] (borrowing the
+//! engine) and over a plain `(&[f64], ε)` score slice. The slice forms are
+//! what `dppr-serve` runs against its immutable epoch snapshots, where the
+//! engine itself is not reachable from reader threads.
 
 use crate::multi::top_k_of;
 use crate::state::PprState;
@@ -44,6 +49,18 @@ pub struct TopKAnswer {
     pub set_is_certain: bool,
 }
 
+/// The ε-interval around one score. Reads 0 for out-of-range vertices
+/// (they are unmaterialized, i.e. their estimate is exactly 0).
+pub fn bounded_score(scores: &[f64], eps: f64, v: VertexId) -> BoundedScore {
+    let p = scores.get(v as usize).copied().unwrap_or(0.0);
+    BoundedScore {
+        vertex: v,
+        estimate: p,
+        lo: (p - eps).max(0.0),
+        hi: (p + eps).min(1.0),
+    }
+}
+
 fn bounded(state: &PprState, v: VertexId) -> BoundedScore {
     let eps = state.config().epsilon;
     let p = state.p(v);
@@ -55,17 +72,14 @@ fn bounded(state: &PprState, v: VertexId) -> BoundedScore {
     }
 }
 
-/// Top-`k` vertices by estimate, with interval bounds and a certainty
-/// verdict for the answer *set*.
-pub fn top_k(state: &PprState, k: usize) -> TopKAnswer {
-    let estimates = state.estimates();
-    let eps = state.config().epsilon;
+/// [`top_k`] over a plain score slice.
+pub fn top_k_scores(scores: &[f64], eps: f64, k: usize) -> TopKAnswer {
     // One extra entry decides set certainty.
-    let extended = top_k_of(&estimates, k + 1);
+    let extended = top_k_of(scores, k + 1);
     let ranking: Vec<BoundedScore> = extended
         .iter()
         .take(k)
-        .map(|&(v, _)| bounded(state, v))
+        .map(|&(v, _)| bounded_score(scores, eps, v))
         .collect();
     let set_is_certain = match (ranking.last(), extended.get(k)) {
         (Some(last), Some(&(_, runner_up))) => last.estimate - runner_up > 2.0 * eps,
@@ -75,13 +89,18 @@ pub fn top_k(state: &PprState, k: usize) -> TopKAnswer {
     TopKAnswer { ranking, set_is_certain }
 }
 
-/// All vertices whose true PPR value may reach `delta`, split by
-/// certainty. Both lists are sorted by descending estimate.
-pub fn above_threshold(state: &PprState, delta: f64) -> ThresholdAnswer {
+/// Top-`k` vertices by estimate, with interval bounds and a certainty
+/// verdict for the answer *set*.
+pub fn top_k(state: &PprState, k: usize) -> TopKAnswer {
+    top_k_scores(&state.estimates(), state.config().epsilon, k)
+}
+
+/// [`above_threshold`] over a plain score slice.
+pub fn above_threshold_scores(scores: &[f64], eps: f64, delta: f64) -> ThresholdAnswer {
     let mut certain = Vec::new();
     let mut possible = Vec::new();
-    for v in 0..state.len() as VertexId {
-        let b = bounded(state, v);
+    for v in 0..scores.len() as VertexId {
+        let b = bounded_score(scores, eps, v);
         if b.lo >= delta {
             certain.push(b);
         } else if b.hi >= delta {
@@ -99,9 +118,36 @@ pub fn above_threshold(state: &PprState, delta: f64) -> ThresholdAnswer {
     ThresholdAnswer { certain, possible }
 }
 
+/// All vertices whose true PPR value may reach `delta`, split by
+/// certainty. Both lists are sorted by descending estimate.
+pub fn above_threshold(state: &PprState, delta: f64) -> ThresholdAnswer {
+    above_threshold_scores(&state.estimates(), state.config().epsilon, delta)
+}
+
+/// [`compare`] over a plain score slice.
+pub fn compare_scores(
+    scores: &[f64],
+    eps: f64,
+    a: VertexId,
+    b: VertexId,
+) -> Option<std::cmp::Ordering> {
+    let ba = bounded_score(scores, eps, a);
+    let bb = bounded_score(scores, eps, b);
+    if ba.lo > bb.hi {
+        Some(std::cmp::Ordering::Greater)
+    } else if bb.lo > ba.hi {
+        Some(std::cmp::Ordering::Less)
+    } else if a == b {
+        Some(std::cmp::Ordering::Equal)
+    } else {
+        None
+    }
+}
+
 /// Compares two vertices' true PPR values as far as ε allows:
 /// `Some(ordering)` when the intervals are disjoint, `None` when the
-/// comparison is undecidable at this ε.
+/// comparison is undecidable at this ε. (Reads the two estimates directly
+/// rather than copying the vector like the slice form would need.)
 pub fn compare(state: &PprState, a: VertexId, b: VertexId) -> Option<std::cmp::Ordering> {
     let ba = bounded(state, a);
     let bb = bounded(state, b);

@@ -30,6 +30,25 @@ impl PprState {
         st
     }
 
+    /// Creates a state that satisfies the Eq. 2 invariant on **any** graph
+    /// with up to `n` vertices: `Ps ≡ 0`, `Rs = e_s`.
+    ///
+    /// Plugging `Ps ≡ 0` into the invariant leaves `α·Rs(v) = α·1{v=s}`,
+    /// independent of the adjacency — so a source can be *opened* against an
+    /// already-populated graph (the serving layer's `session open`) and one
+    /// push to convergence yields ε-accurate estimates, without replaying
+    /// the graph's edge history the way [`PprState::new`] requires.
+    pub fn cold_start(cfg: PprConfig, n: usize) -> Self {
+        let n = n.max(cfg.source as usize + 1);
+        let mut st = PprState { cfg, p: Vec::new(), r: Vec::new() };
+        st.p.resize_with(n, AtomicF64::default);
+        st.r.resize_with(n, AtomicF64::default);
+        // The source is materialized, so a later `ensure_len` growth will
+        // not re-seed `P(s) = α` over the converged value.
+        st.r[cfg.source as usize].store(1.0);
+        st
+    }
+
     /// The configuration this state was built for.
     #[inline]
     pub fn config(&self) -> &PprConfig {
@@ -151,6 +170,30 @@ mod tests {
         assert_eq!(st.p(0), 0.0);
         assert_eq!(st.r(2), 0.0);
         assert!(st.converged());
+    }
+
+    #[test]
+    fn cold_start_state_is_zero_except_source_residual() {
+        let st = PprState::cold_start(cfg(), 6);
+        assert_eq!(st.len(), 6);
+        assert_eq!(st.p(2), 0.0); // no α at the source: Ps ≡ 0
+        assert_eq!(st.r(2), 1.0);
+        assert_eq!(st.r(0), 0.0);
+        assert!(!st.converged()); // the unit residual still has to be pushed
+        // Source beyond n: materialized anyway.
+        let st = PprState::cold_start(PprConfig::new(9, 0.15, 1e-3), 4);
+        assert_eq!(st.len(), 10);
+        assert_eq!(st.r(9), 1.0);
+    }
+
+    #[test]
+    fn cold_start_growth_keeps_source_untouched() {
+        let mut st = PprState::cold_start(cfg(), 6);
+        st.set_p(2, 0.33); // pretend the push converged
+        st.set_r(2, 0.0);
+        st.ensure_len(20);
+        assert_eq!(st.p(2), 0.33); // growth must not re-seed P(s) = α
+        assert_eq!(st.r(2), 0.0);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Minimal std-only HTTP/1.0 plumbing: request parsing and JSON responses.
+//!
+//! The serving front end speaks just enough HTTP for `curl`, browsers, and
+//! load generators: one request per connection (`Connection: close`),
+//! request line + headers parsed, headers otherwise ignored, no bodies
+//! read (every endpoint is parameterized through the query string, so
+//! `POST /session/open?source=7` works from `curl -X POST` without
+//! chunked-body handling).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed request line: method, path, and decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased).
+    pub method: String,
+    /// The path without the query string, e.g. `/topk`.
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Parses a request line like `GET /topk?source=0&k=5 HTTP/1.0`.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let mut it = line.split_whitespace();
+        let method = it
+            .next()
+            .ok_or_else(|| "empty request line".to_string())?
+            .to_ascii_uppercase();
+        let target = it.next().ok_or_else(|| "missing request target".to_string())?;
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let params = query
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (kv.to_string(), String::new()),
+            })
+            .collect();
+        Ok(Request { method, path: path.to_string(), params })
+    }
+
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a query parameter, with a default when absent.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("invalid value for {key}: {raw:?}")),
+        }
+    }
+
+    /// Parses a required query parameter.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self
+            .param(key)
+            .ok_or_else(|| format!("missing required parameter {key}"))?;
+        raw.parse::<T>()
+            .map_err(|_| format!("invalid value for {key}: {raw:?}"))
+    }
+}
+
+/// Cap on request line + headers. A client may not feed a worker more
+/// than this: without it, a newline-free byte stream would grow the line
+/// buffer without bound (the read timeout never fires while bytes keep
+/// arriving).
+const MAX_REQUEST_BYTES: u64 = 16 * 1024;
+
+/// Reads one request from the connection: the request line, then headers
+/// up to the blank line (discarded). Bounded by [`MAX_REQUEST_BYTES`].
+pub fn read_request(conn: &mut TcpStream) -> io::Result<Request> {
+    use std::io::Read as _;
+    // A stuck client must not pin a worker forever.
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new((&mut *conn).take(MAX_REQUEST_BYTES));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if !line.ends_with('\n') && reader.get_ref().limit() == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line exceeds the size limit",
+        ));
+    }
+    let req = Request::parse_line(line.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    Ok(req)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response and flushes.
+pub fn respond_json(conn: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_line_with_params() {
+        let r = Request::parse_line("GET /topk?source=0&k=5&flag HTTP/1.0").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/topk");
+        assert_eq!(r.param("source"), Some("0"));
+        assert_eq!(r.parsed_or("k", 10usize).unwrap(), 5);
+        assert_eq!(r.parsed_or("missing", 10usize).unwrap(), 10);
+        assert_eq!(r.param("flag"), Some(""));
+        assert_eq!(r.require::<u32>("source").unwrap(), 0);
+        assert!(r.require::<u32>("k2").is_err());
+        assert!(r.parsed_or("source", 1.5f64).is_ok());
+    }
+
+    #[test]
+    fn parses_bare_paths_and_post() {
+        let r = Request::parse_line("post /shutdown HTTP/1.0").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/shutdown");
+        assert!(r.params.is_empty());
+        assert!(Request::parse_line("").is_err());
+        assert!(Request::parse_line("GET").is_err());
+    }
+}

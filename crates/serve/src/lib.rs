@@ -1,0 +1,45 @@
+//! `dppr-serve` — concurrent query serving over maintained PPR vectors.
+//!
+//! The paper's premise is that PPR must stay fresh *while* a high-rate
+//! update stream mutates the graph; the systems it aims to serve (HubPPR,
+//! distributed exact PPR, and the online-serving framing of Zhang et al.
+//! and Lin) all answer per-source queries continuously. This crate is that
+//! read path:
+//!
+//! * [`epoch`] — single-writer / many-reader snapshot publication with an
+//!   atomic pointer swap and epoch-based deferred reclamation. Readers are
+//!   lock-free and can never observe a torn state; the writer is never
+//!   blocked by readers.
+//! * [`snapshot`] — [`QuerySnapshot`], an immutable `(estimates, ε,
+//!   epoch)` frozen at the publication point, answering top-k / score /
+//!   threshold / compare via the slice-based query kernels in
+//!   `dppr_core::queries`.
+//! * [`registry`] — the [`SessionRegistry`]: many tracked sources over one
+//!   `MultiSourcePpr`, with open/close and LRU eviction past a capacity
+//!   budget.
+//! * [`cache`] — the [`QueryCache`], keyed by `(source, query, params)`
+//!   and implicitly invalidated by every epoch bump.
+//! * [`http`] / [`json`] — a hand-rolled HTTP/1.0 + JSON layer (the build
+//!   environment is offline: no tokio, no serde — `TcpListener` and a
+//!   fixed thread pool).
+//! * [`server`] — the assembled instance: write loop sliding
+//!   `StreamDriver` batches in the background, epoch publication after
+//!   every batch, acceptor + worker pool answering queries concurrently.
+//!
+//! Start one with [`start`]; drive it with `dppr serve` from the CLI.
+
+pub mod cache;
+pub mod epoch;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CacheStats, QueryCache, QueryKind};
+pub use epoch::{EpochDomain, Reader, SnapshotCell};
+pub use registry::{OpenOutcome, SessionEntry, SessionRegistry};
+pub use server::{
+    pick_top_degree_sources, start, ServeConfig, ServeReport, ServerHandle, ServerStats,
+};
+pub use snapshot::QuerySnapshot;

@@ -1,0 +1,742 @@
+//! The serving instance: write loop + acceptor + worker pool.
+//!
+//! ```text
+//!                     ┌────────────────────────────────────────────┐
+//!  edge stream ──────▶│ write loop (owns StreamDriver+MultiSource) │
+//!                     │  slide → apply batch → advance epoch ──────┼──▶ publish
+//!                     └────────────▲───────────────────────────────┘    per-session
+//!                                  │ control (open/close)               SnapshotCell
+//!  TCP clients ──▶ acceptor ──▶ worker pool ── lookup ──▶ registry ──▶ lock-free load
+//!                                  │                                    of Arc<QuerySnapshot>
+//!                                  └── epoch-keyed QueryCache
+//! ```
+//!
+//! Readers never hold a lock while the writer works: a query takes one
+//! brief `RwLock` read to find the session, then loads the published
+//! snapshot lock-free ([`crate::SnapshotCell::load`]). Session open/close
+//! requests travel over a channel and are applied by the write loop
+//! *between* batches, which is what keeps `MultiSourcePpr`'s mutable state
+//! single-threaded.
+
+use crate::cache::{CacheStats, QueryCache, QueryKind};
+use crate::epoch::{EpochDomain, Reader};
+use crate::http::{read_request, respond_json, Request};
+use crate::json::{error_body, JsonBuf};
+use crate::registry::{OpenOutcome, SessionRegistry};
+use crate::snapshot::QuerySnapshot;
+use dppr_core::queries::BoundedScore;
+use dppr_core::{MultiSourcePpr, PushVariant};
+use dppr_graph::{GraphStream, VertexId};
+use dppr_stream::StreamDriver;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for one serving instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// HTTP worker threads.
+    pub threads: usize,
+    /// Query-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Session budget; opening past it evicts the LRU session.
+    pub session_capacity: usize,
+    /// Teleport probability α.
+    pub alpha: f64,
+    /// Accuracy ε of every maintained vector.
+    pub epsilon: f64,
+    /// Window-slide batch size (logical edges per slide).
+    pub batch: usize,
+    /// Stop sliding after this many slides (0 = run the stream dry).
+    pub max_slides: usize,
+    /// Optional pause between slides, to throttle the update stream.
+    pub slide_pause: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            threads: 4,
+            cache_capacity: 1024,
+            session_capacity: 64,
+            alpha: 0.15,
+            epsilon: 1e-4,
+            batch: 500,
+            max_slides: 0,
+            slide_pause: Duration::ZERO,
+        }
+    }
+}
+
+/// Live counters of a serving instance (all monotone).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Window slides applied.
+    pub slides: AtomicU64,
+    /// Updates handed to the engine (inserts + deletes, arcs).
+    pub updates_offered: AtomicU64,
+    /// Updates that changed the graph.
+    pub updates_applied: AtomicU64,
+    /// Nanoseconds spent inside `apply_batch` (the paper's engine latency).
+    pub update_nanos: AtomicU64,
+    /// Query requests answered (any kind, any status).
+    pub queries: AtomicU64,
+    /// Sessions opened over HTTP.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed over HTTP.
+    pub sessions_closed: AtomicU64,
+    /// Sessions evicted by the LRU budget.
+    pub sessions_evicted: AtomicU64,
+    /// Whether the update stream has been run dry.
+    pub stream_done: AtomicBool,
+}
+
+impl ServerStats {
+    /// Sustained update throughput (updates offered per second of engine
+    /// time), the same quantity as `RunSummary::throughput`.
+    pub fn updates_per_sec(&self) -> f64 {
+        let secs = self.update_nanos.load(Relaxed) as f64 * 1e-9;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.updates_offered.load(Relaxed) as f64 / secs
+        }
+    }
+}
+
+/// Final numbers reported by [`ServerHandle::join`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Last published epoch.
+    pub epoch: u64,
+    /// Window slides applied.
+    pub slides: u64,
+    /// Updates handed to the engine.
+    pub updates_offered: u64,
+    /// Updates that changed the graph.
+    pub updates_applied: u64,
+    /// Update throughput while serving (updates/second of engine time).
+    pub updates_per_sec: f64,
+    /// Query requests answered.
+    pub queries: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Sessions open at shutdown.
+    pub sessions: usize,
+    /// Whether the update stream had been run dry.
+    pub stream_done: bool,
+}
+
+enum Control {
+    Open(VertexId),
+    Close(VertexId),
+}
+
+/// State shared by every worker thread.
+struct Ctx {
+    domain: Arc<EpochDomain>,
+    registry: Arc<SessionRegistry>,
+    cache: Arc<QueryCache>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    /// One past the largest vertex id the stream will ever mention; the
+    /// upper bound for `/session/open` requests (an unchecked id would
+    /// make `cold_start` allocate `source + 1` slots — a single request
+    /// naming vertex 4e9 must not OOM the server).
+    vertex_bound: usize,
+}
+
+/// A running serving instance. Dropping the handle without calling
+/// [`ServerHandle::join`] detaches the threads (they exit on shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    domain: Arc<EpochDomain>,
+    registry: Arc<SessionRegistry>,
+    cache: Arc<QueryCache>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (query it for the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The query cache (for its hit/miss counters).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// The session registry.
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.domain.epoch()
+    }
+
+    /// Whether shutdown has been requested (flag or `POST /shutdown`).
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(SeqCst)
+    }
+
+    /// Requests shutdown and wakes the acceptor.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Shuts down, joins every thread, and reports the final counters.
+    pub fn join(mut self) -> ServeReport {
+        self.shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+        ServeReport {
+            epoch: self.domain.epoch(),
+            slides: self.stats.slides.load(Relaxed),
+            updates_offered: self.stats.updates_offered.load(Relaxed),
+            updates_applied: self.stats.updates_applied.load(Relaxed),
+            updates_per_sec: self.stats.updates_per_sec(),
+            queries: self.stats.queries.load(Relaxed),
+            cache: self.cache.stats(),
+            sessions: self.registry.len(),
+            stream_done: self.stats.stream_done.load(Relaxed),
+        }
+    }
+}
+
+/// Warms the initial window of `stream` and picks the `k` top-out-degree
+/// vertices as serving sources — the paper's hub-vertex methodology.
+///
+/// Pass the **same** `init_fraction` here as to [`start`]: the probe must
+/// replay exactly the window the server will bootstrap with, or the picked
+/// hubs belong to a different graph than the one actually served (this
+/// helper exists so the CLI, the load generator, and the examples cannot
+/// drift apart on that pairing).
+pub fn pick_top_degree_sources(
+    stream: &GraphStream,
+    init_fraction: f64,
+    k: usize,
+) -> Vec<VertexId> {
+    let window = dppr_graph::SlidingWindow::new(stream.clone(), init_fraction);
+    let mut probe = dppr_graph::DynamicGraph::new();
+    for upd in window.initial_updates() {
+        probe.apply(upd);
+    }
+    probe.top_out_degree_vertices(k)
+}
+
+/// Boots a serving instance over `stream`: applies the initial window for
+/// every source in `sources` (so the returned handle is immediately
+/// queryable), then starts the write loop, the acceptor, and the worker
+/// pool. `init_fraction` is the sliding-window warmup share (the paper
+/// uses 0.1).
+pub fn start(
+    stream: GraphStream,
+    init_fraction: f64,
+    sources: &[VertexId],
+    cfg: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let vertex_bound = stream.vertex_bound();
+    if let Some(&s) = sources.iter().find(|&&s| (s as usize) >= vertex_bound) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("source {s} is outside the stream's vertex bound {vertex_bound}"),
+        ));
+    }
+    let threads = cfg.threads.max(1);
+    // Workers + slack for external Reader users (tests, in-process tools).
+    let domain = EpochDomain::new(threads + 4);
+    let registry = Arc::new(SessionRegistry::new(
+        Arc::clone(&domain),
+        cfg.session_capacity.max(sources.len()),
+    ));
+    let cache = Arc::new(QueryCache::new(cfg.cache_capacity));
+    let stats = Arc::new(ServerStats::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // --- bootstrap synchronously: sessions are live before we return ----
+    let mut driver = StreamDriver::new(stream, init_fraction);
+    let mut multi = MultiSourcePpr::new(sources, cfg.alpha, cfg.epsilon, PushVariant::OPT);
+    let init = driver.take_initial_batch();
+    let t = Instant::now();
+    let applied = multi.apply_batch(driver.graph_mut(), &init);
+    stats.update_nanos.store(t.elapsed().as_nanos() as u64, Relaxed);
+    stats.updates_offered.store(init.len() as u64, Relaxed);
+    stats.updates_applied.store(applied as u64, Relaxed);
+    let epoch = domain.advance();
+    for i in 0..multi.num_sources() {
+        registry.open(
+            multi.source(i),
+            Arc::new(QuerySnapshot::from_state(multi.state(i), epoch)),
+        );
+    }
+
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let addr = listener.local_addr()?;
+
+    let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let ctx = Arc::new(Ctx {
+        domain: Arc::clone(&domain),
+        registry: Arc::clone(&registry),
+        cache: Arc::clone(&cache),
+        stats: Arc::clone(&stats),
+        shutdown: Arc::clone(&shutdown),
+        addr,
+        vertex_bound,
+    });
+
+    // --- write loop ------------------------------------------------------
+    let writer = {
+        let ctx = Arc::clone(&ctx);
+        let cfg = cfg.clone();
+        std::thread::Builder::new()
+            .name("dppr-serve-writer".into())
+            .spawn(move || write_loop(driver, multi, ctl_rx, ctx, cfg))?
+    };
+
+    // --- worker pool ------------------------------------------------------
+    let mut workers = Vec::with_capacity(threads);
+    for w in 0..threads {
+        let ctx = Arc::clone(&ctx);
+        let conn_rx = Arc::clone(&conn_rx);
+        let ctl_tx = ctl_tx.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("dppr-serve-worker-{w}"))
+                .spawn(move || {
+                    let reader = ctx.domain.register_reader();
+                    loop {
+                        let conn = conn_rx.lock().unwrap().recv();
+                        let Ok(mut conn) = conn else { break };
+                        // Client-side errors (parse failures, dropped
+                        // connections) must not take the worker down.
+                        let _ = handle_connection(&mut conn, &ctx, &reader, &ctl_tx);
+                    }
+                })?,
+        );
+    }
+    drop(ctl_tx);
+
+    // --- acceptor ---------------------------------------------------------
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("dppr-serve-acceptor".into())
+            .spawn(move || {
+                loop {
+                    match listener.accept() {
+                        Ok((conn, _)) => {
+                            if shutdown.load(SeqCst) {
+                                break; // wake-up connection, not a client
+                            }
+                            if conn_tx.send(conn).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if shutdown.load(SeqCst) {
+                                break;
+                            }
+                            // Persistent accept errors (e.g. fd
+                            // exhaustion) must not busy-spin a core.
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                }
+                // Dropping conn_tx drains the worker pool.
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        domain,
+        registry,
+        cache,
+        stats,
+        acceptor: Some(acceptor),
+        workers,
+        writer: Some(writer),
+    })
+}
+
+fn write_loop(
+    mut driver: StreamDriver,
+    mut multi: MultiSourcePpr,
+    ctl_rx: mpsc::Receiver<Control>,
+    ctx: Arc<Ctx>,
+    cfg: ServeConfig,
+) {
+    loop {
+        if ctx.shutdown.load(SeqCst) {
+            return;
+        }
+        while let Ok(ctl) = ctl_rx.try_recv() {
+            handle_control(ctl, &mut driver, &mut multi, &ctx);
+        }
+        let capped = cfg.max_slides != 0 && ctx.stats.slides.load(Relaxed) >= cfg.max_slides as u64;
+        if capped || ctx.stats.stream_done.load(Relaxed) {
+            // Nothing left to slide: serve from the frozen epoch, but stay
+            // responsive to session control and shutdown.
+            match ctl_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(ctl) => handle_control(ctl, &mut driver, &mut multi, &ctx),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            continue;
+        }
+        let Some(batch) = driver.slide_batch(cfg.batch) else {
+            ctx.stats.stream_done.store(true, Relaxed);
+            continue;
+        };
+        let t = Instant::now();
+        let applied = multi.apply_batch(driver.graph_mut(), &batch);
+        ctx.stats.update_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+        ctx.stats.updates_offered.fetch_add(batch.len() as u64, Relaxed);
+        ctx.stats.updates_applied.fetch_add(applied as u64, Relaxed);
+        ctx.stats.slides.fetch_add(1, Relaxed);
+        // Publication point: one epoch per batch, every session swapped to
+        // a snapshot of the new converged state.
+        let epoch = ctx.domain.advance();
+        for i in 0..multi.num_sources() {
+            if let Some(entry) = ctx.registry.peek(multi.source(i)) {
+                entry.publish(
+                    &ctx.domain,
+                    Arc::new(QuerySnapshot::from_state(multi.state(i), epoch)),
+                );
+            }
+        }
+        if !cfg.slide_pause.is_zero() {
+            std::thread::sleep(cfg.slide_pause);
+        }
+    }
+}
+
+fn handle_control(
+    ctl: Control,
+    driver: &mut StreamDriver,
+    multi: &mut MultiSourcePpr,
+    ctx: &Ctx,
+) {
+    match ctl {
+        Control::Open(s) => {
+            if ctx.registry.peek(s).is_some() {
+                return;
+            }
+            let i = multi.add_source(driver.graph(), s);
+            let snap = QuerySnapshot::from_state(multi.state(i), ctx.domain.epoch());
+            if let OpenOutcome::Opened { evicted: Some(victim) } =
+                ctx.registry.open(s, Arc::new(snap))
+            {
+                remove_maintained(multi, victim);
+                ctx.stats.sessions_evicted.fetch_add(1, Relaxed);
+            }
+            ctx.stats.sessions_opened.fetch_add(1, Relaxed);
+        }
+        Control::Close(s) => {
+            if ctx.registry.close(s) {
+                remove_maintained(multi, s);
+                ctx.stats.sessions_closed.fetch_add(1, Relaxed);
+            }
+        }
+    }
+}
+
+fn remove_maintained(multi: &mut MultiSourcePpr, source: VertexId) {
+    if let Some(i) = (0..multi.num_sources()).find(|&j| multi.source(j) == source) {
+        multi.remove_source(i);
+    }
+}
+
+// --- request routing ------------------------------------------------------
+
+fn push_bounded(j: &mut JsonBuf, b: &BoundedScore) {
+    j.begin_obj();
+    j.key("vertex").uint(b.vertex as u64);
+    j.key("estimate").num(b.estimate);
+    j.key("lo").num(b.lo);
+    j.key("hi").num(b.hi);
+    j.end_obj();
+}
+
+fn handle_connection(
+    conn: &mut TcpStream,
+    ctx: &Ctx,
+    reader: &Reader,
+    ctl_tx: &mpsc::Sender<Control>,
+) -> io::Result<()> {
+    let req = match read_request(conn) {
+        Ok(r) => r,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return respond_json(conn, 400, &error_body(&e.to_string()));
+        }
+        Err(e) => return Err(e),
+    };
+    match route(&req, ctx, reader, ctl_tx) {
+        Ok((status, body)) => respond_json(conn, status, &body),
+        Err(msg) => respond_json(conn, 400, &error_body(&msg)),
+    }
+}
+
+/// Loads the snapshot for a `source=` query parameter, or a 404 body.
+fn snapshot_for(
+    req: &Request,
+    ctx: &Ctx,
+    reader: &Reader,
+) -> Result<Result<Arc<QuerySnapshot>, (u16, Arc<str>)>, String> {
+    let source: VertexId = req.require("source")?;
+    Ok(match ctx.registry.lookup(source) {
+        Some(entry) => Ok(entry.load(reader)),
+        None => Err((
+            404,
+            error_body(&format!("no open session for source {source}")).into(),
+        )),
+    })
+}
+
+/// Routes a request to `(status, body)`. Bodies travel as `Arc<str>` so a
+/// cache hit is returned without copying the rendered JSON.
+fn route(
+    req: &Request,
+    ctx: &Ctx,
+    reader: &Reader,
+    ctl_tx: &mpsc::Sender<Control>,
+) -> Result<(u16, Arc<str>), String> {
+    match req.path.as_str() {
+        "/healthz" => {
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("ok").bool(true);
+            j.key("epoch").uint(ctx.domain.epoch());
+            j.end_obj();
+            Ok((200, j.finish().into()))
+        }
+        "/topk" => {
+            ctx.stats.queries.fetch_add(1, Relaxed);
+            let k: usize = req.parsed_or("k", 10)?;
+            let snap = match snapshot_for(req, ctx, reader)? {
+                Ok(s) => s,
+                Err(e) => return Ok(e),
+            };
+            let (body, _) = ctx.cache.get_or_render(
+                snap.source(),
+                QueryKind::TopK(k),
+                snap.epoch(),
+                || {
+                    let ans = snap.top_k(k);
+                    let mut j = JsonBuf::new();
+                    j.begin_obj();
+                    j.key("source").uint(snap.source() as u64);
+                    j.key("epoch").uint(snap.epoch());
+                    j.key("epsilon").num(snap.epsilon());
+                    j.key("k").uint(k as u64);
+                    j.key("set_is_certain").bool(ans.set_is_certain);
+                    j.key("ranking").begin_arr();
+                    for b in &ans.ranking {
+                        push_bounded(&mut j, b);
+                    }
+                    j.end_arr();
+                    j.end_obj();
+                    j.finish()
+                },
+            );
+            Ok((200, body))
+        }
+        "/score" => {
+            ctx.stats.queries.fetch_add(1, Relaxed);
+            let v: VertexId = req.require("v")?;
+            let snap = match snapshot_for(req, ctx, reader)? {
+                Ok(s) => s,
+                Err(e) => return Ok(e),
+            };
+            let (body, _) = ctx.cache.get_or_render(
+                snap.source(),
+                QueryKind::Score(v),
+                snap.epoch(),
+                || {
+                    let b = snap.score(v);
+                    let mut j = JsonBuf::new();
+                    j.begin_obj();
+                    j.key("source").uint(snap.source() as u64);
+                    j.key("epoch").uint(snap.epoch());
+                    j.key("epsilon").num(snap.epsilon());
+                    j.key("vertex").uint(v as u64);
+                    j.key("estimate").num(b.estimate);
+                    j.key("lo").num(b.lo);
+                    j.key("hi").num(b.hi);
+                    j.end_obj();
+                    j.finish()
+                },
+            );
+            Ok((200, body))
+        }
+        "/threshold" => {
+            ctx.stats.queries.fetch_add(1, Relaxed);
+            let delta: f64 = req.require("delta")?;
+            let snap = match snapshot_for(req, ctx, reader)? {
+                Ok(s) => s,
+                Err(e) => return Ok(e),
+            };
+            let (body, _) = ctx.cache.get_or_render(
+                snap.source(),
+                QueryKind::Threshold(delta.to_bits()),
+                snap.epoch(),
+                || {
+                    let ans = snap.above_threshold(delta);
+                    let mut j = JsonBuf::new();
+                    j.begin_obj();
+                    j.key("source").uint(snap.source() as u64);
+                    j.key("epoch").uint(snap.epoch());
+                    j.key("delta").num(delta);
+                    j.key("certain").begin_arr();
+                    for b in &ans.certain {
+                        push_bounded(&mut j, b);
+                    }
+                    j.end_arr();
+                    j.key("possible").begin_arr();
+                    for b in &ans.possible {
+                        push_bounded(&mut j, b);
+                    }
+                    j.end_arr();
+                    j.end_obj();
+                    j.finish()
+                },
+            );
+            Ok((200, body))
+        }
+        "/compare" => {
+            ctx.stats.queries.fetch_add(1, Relaxed);
+            let a: VertexId = req.require("a")?;
+            let b: VertexId = req.require("b")?;
+            let snap = match snapshot_for(req, ctx, reader)? {
+                Ok(s) => s,
+                Err(e) => return Ok(e),
+            };
+            let (body, _) = ctx.cache.get_or_render(
+                snap.source(),
+                QueryKind::Compare(a, b),
+                snap.epoch(),
+                || {
+                    let order = match snap.compare(a, b) {
+                        Some(std::cmp::Ordering::Greater) => "greater",
+                        Some(std::cmp::Ordering::Less) => "less",
+                        Some(std::cmp::Ordering::Equal) => "equal",
+                        None => "undecidable",
+                    };
+                    let mut j = JsonBuf::new();
+                    j.begin_obj();
+                    j.key("source").uint(snap.source() as u64);
+                    j.key("epoch").uint(snap.epoch());
+                    j.key("a").uint(a as u64);
+                    j.key("b").uint(b as u64);
+                    j.key("order").str(order);
+                    j.end_obj();
+                    j.finish()
+                },
+            );
+            Ok((200, body))
+        }
+        "/sessions" => {
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("capacity").uint(ctx.registry.capacity() as u64);
+            j.key("sessions").begin_arr();
+            for s in ctx.registry.sources() {
+                j.uint(s as u64);
+            }
+            j.end_arr();
+            j.end_obj();
+            Ok((200, j.finish().into()))
+        }
+        "/session/open" | "/session/close" => {
+            let source: VertexId = req.require("source")?;
+            let open = req.path == "/session/open";
+            if open && source as usize >= ctx.vertex_bound {
+                return Err(format!(
+                    "source {source} is outside the graph's vertex bound {}",
+                    ctx.vertex_bound
+                ));
+            }
+            let ctl = if open {
+                Control::Open(source)
+            } else {
+                Control::Close(source)
+            };
+            // Applied by the write loop between batches; the response
+            // acknowledges acceptance, not completion.
+            let accepted = ctl_tx.send(ctl).is_ok();
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("accepted").bool(accepted);
+            j.key(if open { "opening" } else { "closing" }).uint(source as u64);
+            j.end_obj();
+            Ok((200, j.finish().into()))
+        }
+        "/stats" => {
+            let cache = ctx.cache.stats();
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("epoch").uint(ctx.domain.epoch());
+            j.key("slides").uint(ctx.stats.slides.load(Relaxed));
+            j.key("updates_offered").uint(ctx.stats.updates_offered.load(Relaxed));
+            j.key("updates_applied").uint(ctx.stats.updates_applied.load(Relaxed));
+            j.key("updates_per_sec").num(ctx.stats.updates_per_sec());
+            j.key("stream_done").bool(ctx.stats.stream_done.load(Relaxed));
+            j.key("queries").uint(ctx.stats.queries.load(Relaxed));
+            j.key("sessions").uint(ctx.registry.len() as u64);
+            j.key("sessions_opened").uint(ctx.stats.sessions_opened.load(Relaxed));
+            j.key("sessions_closed").uint(ctx.stats.sessions_closed.load(Relaxed));
+            j.key("sessions_evicted").uint(ctx.stats.sessions_evicted.load(Relaxed));
+            j.key("cache").begin_obj();
+            j.key("hits").uint(cache.hits);
+            j.key("misses").uint(cache.misses);
+            j.key("evictions").uint(cache.evictions);
+            j.key("hit_rate").num(cache.hit_rate());
+            j.end_obj();
+            j.end_obj();
+            Ok((200, j.finish().into()))
+        }
+        "/shutdown" => {
+            ctx.shutdown.store(true, SeqCst);
+            // Wake the blocking accept so the acceptor can exit.
+            let _ = TcpStream::connect(ctx.addr);
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("shutting_down").bool(true);
+            j.end_obj();
+            Ok((200, j.finish().into()))
+        }
+        other => Ok((404, error_body(&format!("unknown endpoint {other}")).into())),
+    }
+}

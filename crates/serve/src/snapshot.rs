@@ -1,0 +1,175 @@
+//! The immutable per-session query snapshot.
+
+use dppr_core::queries::{
+    above_threshold_scores, bounded_score, compare_scores, top_k_scores, BoundedScore,
+    ThresholdAnswer, TopKAnswer,
+};
+use dppr_core::PprState;
+use dppr_graph::VertexId;
+
+/// One source's frozen estimate vector, tagged with the publication epoch.
+///
+/// A snapshot is built by the write loop *after* a batch has converged, so
+/// its estimates are ε-accurate for the graph as of that epoch, and it is
+/// never mutated afterwards — readers answer every query kind from it
+/// without further coordination.
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    source: VertexId,
+    epoch: u64,
+    alpha: f64,
+    epsilon: f64,
+    estimates: Vec<f64>,
+}
+
+impl QuerySnapshot {
+    /// A snapshot from raw parts (tests / custom pipelines).
+    pub fn new(
+        source: VertexId,
+        epoch: u64,
+        alpha: f64,
+        epsilon: f64,
+        estimates: Vec<f64>,
+    ) -> Self {
+        QuerySnapshot { source, epoch, alpha, epsilon, estimates }
+    }
+
+    /// Freezes the current estimates of a maintained state. Called by the
+    /// write loop at the publication point (post-batch, converged).
+    pub fn from_state(state: &PprState, epoch: u64) -> Self {
+        let cfg = state.config();
+        QuerySnapshot {
+            source: cfg.source,
+            epoch,
+            alpha: cfg.alpha,
+            epsilon: cfg.epsilon,
+            estimates: state.estimates(),
+        }
+    }
+
+    /// The source vertex this snapshot answers for.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The epoch at which this snapshot was published.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The teleport probability of the maintained vector.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The accuracy guarantee: every estimate is within ε of the true PPR
+    /// value for the epoch's graph.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether the snapshot covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// The frozen estimate vector.
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// Sum of all estimates (consistency checks in the stress suite).
+    pub fn total_mass(&self) -> f64 {
+        self.estimates.iter().sum()
+    }
+
+    /// The ε-interval around one vertex's estimate.
+    pub fn score(&self, v: VertexId) -> BoundedScore {
+        bounded_score(&self.estimates, self.epsilon, v)
+    }
+
+    /// Top-`k` with interval bounds and a set-certainty verdict.
+    pub fn top_k(&self, k: usize) -> TopKAnswer {
+        top_k_scores(&self.estimates, self.epsilon, k)
+    }
+
+    /// Vertices whose true value may reach `delta`, split by certainty.
+    pub fn above_threshold(&self, delta: f64) -> ThresholdAnswer {
+        above_threshold_scores(&self.estimates, self.epsilon, delta)
+    }
+
+    /// ε-aware comparison of two vertices.
+    pub fn compare(&self, a: VertexId, b: VertexId) -> Option<std::cmp::Ordering> {
+        compare_scores(&self.estimates, self.epsilon, a, b)
+    }
+
+    /// Order-insensitive fingerprint of the snapshot's exact contents
+    /// (f64 bit patterns mixed position-dependently). The stress suite
+    /// compares reader-side fingerprints against writer-side ones to prove
+    /// no torn state is ever observed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = self.source as u64 ^ (self.epoch.rotate_left(32));
+        for (i, &p) in self.estimates.iter().enumerate() {
+            let mut z = p.to_bits() ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            h = h.wrapping_add(z ^ (z >> 31));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dppr_core::{queries, DynamicPprEngine, ParallelEngine, PprConfig, PushVariant};
+    use dppr_graph::generators::erdos_renyi;
+    use dppr_graph::{DynamicGraph, EdgeUpdate};
+
+    fn converged_engine() -> (DynamicGraph, ParallelEngine) {
+        let mut g = DynamicGraph::new();
+        let mut e = ParallelEngine::new(PprConfig::new(0, 0.2, 1e-3), PushVariant::OPT);
+        let batch: Vec<EdgeUpdate> = erdos_renyi(50, 500, 9)
+            .into_iter()
+            .map(|(u, v)| EdgeUpdate::insert(u, v))
+            .collect();
+        e.apply_batch(&mut g, &batch);
+        (g, e)
+    }
+
+    #[test]
+    fn snapshot_answers_match_live_state_queries() {
+        let (_, e) = converged_engine();
+        let snap = QuerySnapshot::from_state(e.state(), 42);
+        assert_eq!(snap.epoch(), 42);
+        assert_eq!(snap.source(), 0);
+        assert_eq!(snap.len(), e.estimates().len());
+        assert_eq!(snap.top_k(5), queries::top_k(e.state(), 5));
+        assert_eq!(
+            snap.above_threshold(0.01),
+            queries::above_threshold(e.state(), 0.01)
+        );
+        assert_eq!(snap.compare(0, 1), queries::compare(e.state(), 0, 1));
+        let b = snap.score(3);
+        assert_eq!(b.estimate, e.estimate(3));
+        assert!(b.lo <= b.estimate && b.estimate <= b.hi);
+        // Out-of-range vertex reads as an unmaterialized zero.
+        assert_eq!(snap.score(10_000).estimate, 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = QuerySnapshot::new(0, 1, 0.15, 1e-3, vec![0.1, 0.2, 0.3]);
+        let same = QuerySnapshot::new(0, 1, 0.15, 1e-3, vec![0.1, 0.2, 0.3]);
+        let reordered = QuerySnapshot::new(0, 1, 0.15, 1e-3, vec![0.2, 0.1, 0.3]);
+        let other_epoch = QuerySnapshot::new(0, 2, 0.15, 1e-3, vec![0.1, 0.2, 0.3]);
+        assert_eq!(a.fingerprint(), same.fingerprint());
+        assert_ne!(a.fingerprint(), reordered.fingerprint());
+        assert_ne!(a.fingerprint(), other_epoch.fingerprint());
+    }
+}

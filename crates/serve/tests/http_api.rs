@@ -1,0 +1,161 @@
+//! End-to-end test of the HTTP front end, in-process: a real server on an
+//! ephemeral port, a plain `TcpStream` client, every endpoint exercised
+//! while the write loop slides in the background.
+
+use dppr_graph::generators::erdos_renyi;
+use dppr_graph::GraphStream;
+use dppr_serve::{start, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn request(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(conn, "{method} {target} HTTP/1.0\r\nHost: dppr\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    request(addr, "GET", target)
+}
+
+#[test]
+fn start_rejects_out_of_bound_sources() {
+    let stream = GraphStream::directed(erdos_renyi(50, 400, 1)).permuted(1);
+    match start(stream, 0.1, &[0, 4_000_000_000], ServeConfig::default()) {
+        Err(e) => assert!(e.to_string().contains("vertex bound"), "{e}"),
+        Ok(_) => panic!("out-of-bound source must be rejected"),
+    }
+}
+
+#[test]
+fn serves_every_endpoint_while_sliding() {
+    let stream = GraphStream::directed(erdos_renyi(200, 6_000, 21)).permuted(5);
+    let handle = start(
+        stream,
+        0.1,
+        &[0, 5],
+        ServeConfig {
+            threads: 3,
+            batch: 200,
+            epsilon: 1e-3,
+            max_slides: 8, // freeze the epoch afterwards → deterministic cache hits
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    // Health and initial sessions are live before start() returns.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\":true"), "{body}");
+    let (status, body) = get(addr, "/sessions");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"sessions\":[0,5]"), "{body}");
+
+    // Queries against both sessions, concurrently with the write loop.
+    let (status, body) = get(addr, "/topk?source=0&k=5");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ranking\":[{\"vertex\":"), "{body}");
+    assert!(body.contains("\"set_is_certain\":"), "{body}");
+    let (status, body) = get(addr, "/score?source=5&v=0");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"estimate\":"), "{body}");
+    assert!(body.contains("\"lo\":") && body.contains("\"hi\":"), "{body}");
+    let (status, body) = get(addr, "/threshold?source=0&delta=0.01");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"certain\":[") && body.contains("\"possible\":["), "{body}");
+    let (status, body) = get(addr, "/compare?source=0&a=1&b=2");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"order\":\""), "{body}");
+
+    // Error paths: unknown session, missing/invalid params, bad endpoint.
+    let (status, body) = get(addr, "/topk?source=77");
+    assert_eq!(status, 404);
+    assert!(body.contains("no open session for source 77"), "{body}");
+    let (status, _) = get(addr, "/topk");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/score?source=0&v=zebra");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // Opening a session beyond the stream's vertex bound is rejected up
+    // front (an unchecked id would cold-start a source+1-sized state).
+    let (status, body) = request(addr, "POST", "/session/open?source=4000000000");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("vertex bound"), "{body}");
+
+    // Session lifecycle over HTTP: open a new source, wait for the write
+    // loop to apply it between batches, query it, close it again.
+    let (status, body) = request(addr, "POST", "/session/open?source=9");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"accepted\":true"), "{body}");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = get(addr, "/topk?source=9&k=3");
+        if status == 200 {
+            assert!(body.contains("\"ranking\""), "{body}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "session 9 never opened");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, _) = request(addr, "POST", "/session/close?source=9");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while get(addr, "/topk?source=9&k=3").0 != 404 {
+        assert!(Instant::now() < deadline, "session 9 never closed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Wait for the slide cap; the epoch freezes, so a repeated identical
+    // query must be served from the cache.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = get(addr, "/stats");
+        if body.contains("\"slides\":8") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "write loop never hit max_slides: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let hits_before = handle.cache().stats().hits;
+    let (_, first) = get(addr, "/topk?source=0&k=7");
+    let (_, second) = get(addr, "/topk?source=0&k=7");
+    assert_eq!(first, second);
+    assert!(
+        handle.cache().stats().hits > hits_before,
+        "frozen-epoch repeat query did not hit the cache"
+    );
+
+    // Stats reflect the traffic; shutdown over HTTP stops everything.
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"queries\":"), "{body}");
+    assert!(body.contains("\"hit_rate\":"), "{body}");
+    let (status, body) = request(addr, "POST", "/shutdown");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"shutting_down\":true"), "{body}");
+    assert!(handle.is_shutdown());
+    let report = handle.join();
+    assert_eq!(report.slides, 8);
+    assert!(report.queries >= 10);
+    assert!(report.updates_applied > 0);
+    assert!(report.epoch >= 9); // bootstrap + 8 slides
+    assert!(report.cache.hits >= 1);
+}

@@ -110,6 +110,14 @@ impl StreamDriver {
         &self.graph
     }
 
+    /// Mutable access to the owned graph, for callers that maintain their
+    /// own state (e.g. a multi-source session registry) and therefore apply
+    /// the batches from [`StreamDriver::take_initial_batch`] /
+    /// [`StreamDriver::slide_batch`] themselves.
+    pub fn graph_mut(&mut self) -> &mut DynamicGraph {
+        &mut self.graph
+    }
+
     /// The underlying window.
     pub fn window(&self) -> &SlidingWindow {
         &self.window
@@ -124,6 +132,26 @@ impl StreamDriver {
         engine.apply_batch(&mut self.graph, &init)
     }
 
+    /// Marks the driver bootstrapped and hands back the initial-window
+    /// insertion batch instead of applying it. For callers whose state is
+    /// not a single [`DynamicPprEngine`] (e.g. `dppr-serve`'s multi-source
+    /// registry): apply the batch against [`StreamDriver::graph_mut`]
+    /// yourself, then pair with [`StreamDriver::slide_batch`].
+    pub fn take_initial_batch(&mut self) -> Vec<dppr_graph::EdgeUpdate> {
+        assert!(!self.bootstrapped, "driver already bootstrapped");
+        self.bootstrapped = true;
+        self.window.initial_updates()
+    }
+
+    /// Slides the window by `k` logical edges and returns the raw update
+    /// batch without applying it; `None` when the stream is exhausted. The
+    /// caller applies it against [`StreamDriver::graph_mut`] (this is the
+    /// manual counterpart of one [`StreamDriver::run_slides`] iteration).
+    pub fn slide_batch(&mut self, k: usize) -> Option<Vec<dppr_graph::EdgeUpdate>> {
+        assert!(self.bootstrapped, "bootstrap the engine first");
+        self.window.slide(k)
+    }
+
     /// Runs up to `max_slides` slides of `k` logical edges each, stopping
     /// early when the stream is exhausted.
     pub fn run_slides(
@@ -131,6 +159,25 @@ impl StreamDriver {
         engine: &mut dyn DynamicPprEngine,
         k: usize,
         max_slides: usize,
+    ) -> RunSummary {
+        self.run_slides_with(engine, k, max_slides, |_, _, _| {})
+    }
+
+    /// [`StreamDriver::run_slides`] with a post-slide hook: after each
+    /// batch is applied (engine converged, graph mutated) the hook sees the
+    /// engine, the graph, and the slide record. A snapshot taken here is
+    /// guaranteed to be a converged, internally consistent state — the
+    /// publication point for single-engine serving pipelines. (The
+    /// multi-source write loop in `dppr-serve` needs the state *between*
+    /// window slide and publication in its own hands, so it uses the
+    /// manual [`StreamDriver::take_initial_batch`] /
+    /// [`StreamDriver::slide_batch`] form of the same contract instead.)
+    pub fn run_slides_with(
+        &mut self,
+        engine: &mut dyn DynamicPprEngine,
+        k: usize,
+        max_slides: usize,
+        mut on_slide: impl FnMut(&dyn DynamicPprEngine, &DynamicGraph, &SlideRecord),
     ) -> RunSummary {
         assert!(self.bootstrapped, "bootstrap the engine first");
         let mut summary = RunSummary {
@@ -148,14 +195,16 @@ impl StreamDriver {
             summary.slides += 1;
             summary.total_updates += batch.len();
             summary.total_latency += stats.latency;
-            summary.records.push(SlideRecord {
+            let record = SlideRecord {
                 slide,
                 batch_updates: batch.len(),
                 applied: stats.applied,
                 latency: stats.latency,
                 counters: stats.counters,
                 active_vertices: self.graph.active_vertices(),
-            });
+            };
+            on_slide(engine, &self.graph, &record);
+            summary.records.push(record);
         }
         summary
     }
@@ -278,6 +327,60 @@ mod tests {
         let total = summary.total_counters();
         assert_eq!(total.batches, 5);
         assert!(total.restore_ops > 0);
+    }
+
+    #[test]
+    fn post_slide_hook_sees_converged_consistent_state() {
+        use dppr_core::max_invariant_violation;
+        let mut d = StreamDriver::new(stream(), 0.1);
+        let mut e = ParallelEngine::new(PprConfig::new(0, 0.2, 1e-3), PushVariant::OPT);
+        d.bootstrap(&mut e);
+        let mut hook_calls = 0usize;
+        let summary = d.run_slides_with(&mut e, 100, 4, |engine, g, record| {
+            hook_calls += 1;
+            assert_eq!(record.slide + 1, hook_calls);
+            // The hook fires at the publication point: the engine must be
+            // converged and invariant-consistent against the mutated graph.
+            let estimates = engine.estimates();
+            assert_eq!(estimates.len(), g.num_vertices());
+            assert_eq!(record.active_vertices, g.active_vertices());
+        });
+        assert_eq!(hook_calls, 4);
+        assert_eq!(summary.slides, 4);
+        assert!(max_invariant_violation(d.graph(), e.state()) < 1e-9);
+    }
+
+    #[test]
+    fn manual_batches_match_engine_driven_run() {
+        // Driving the window by hand (the serve write loop's shape) must
+        // visit exactly the same batches as run_slides.
+        let mut manual = StreamDriver::new(stream(), 0.1);
+        let mut e1 = SeqEngine::new(PprConfig::new(0, 0.2, 1e-2), UpdateMode::Batched);
+        let init = manual.take_initial_batch();
+        e1.apply_batch(manual.graph_mut(), &init);
+        let mut slides = 0usize;
+        while let Some(batch) = manual.slide_batch(75) {
+            e1.apply_batch(manual.graph_mut(), &batch);
+            slides += 1;
+            if slides == 6 {
+                break;
+            }
+        }
+        let mut driven = StreamDriver::new(stream(), 0.1);
+        let mut e2 = SeqEngine::new(PprConfig::new(0, 0.2, 1e-2), UpdateMode::Batched);
+        driven.bootstrap(&mut e2);
+        driven.run_slides(&mut e2, 75, 6);
+        assert_eq!(manual.graph().num_edges(), driven.graph().num_edges());
+        for v in 0..driven.graph().num_vertices() as VertexId {
+            assert_eq!(e1.estimate(v), e2.estimate(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap the engine first")]
+    fn slide_batch_without_bootstrap_panics() {
+        let mut d = StreamDriver::new(stream(), 0.1);
+        d.slide_batch(10);
     }
 
     #[test]

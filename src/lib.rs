@@ -11,6 +11,8 @@
 //! * [`mc`] — the incremental Monte-Carlo baseline.
 //! * [`vc`] — the Ligra-style vertex-centric engine and its PPR port.
 //! * [`stream`] — the sliding-window experiment harness.
+//! * [`serve`] — the concurrent query-serving subsystem: epoch snapshots,
+//!   session registry, query cache, std-only HTTP front end.
 //!
 //! ## Quickstart
 //!
@@ -39,5 +41,6 @@
 pub use dppr_core as core;
 pub use dppr_graph as graph;
 pub use dppr_mc as mc;
+pub use dppr_serve as serve;
 pub use dppr_stream as stream;
 pub use dppr_vc as vc;

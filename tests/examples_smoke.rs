@@ -3,9 +3,10 @@
 //! `cargo test` builds every example target of this package before the
 //! test binaries execute, so the executables are guaranteed to exist
 //! under `target/<profile>/examples/` next to this test's own binary.
-//! The two end-to-end examples are run on tiny graphs (`DPPR_EXAMPLE_N`)
+//! The end-to-end examples are run on tiny graphs (`DPPR_EXAMPLE_N`)
 //! so the smoke test stays fast; `quickstart` additionally self-checks
-//! the ε-guarantee with an `assert!` before exiting.
+//! the ε-guarantee with an `assert!` before exiting, and `serving` spins
+//! up the real HTTP server on an ephemeral port.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -51,6 +52,27 @@ fn quickstart_runs_and_verifies_epsilon_guarantee() {
     assert!(
         stdout.contains("top-5 by PPR"),
         "unexpected quickstart output:\n{stdout}"
+    );
+}
+
+#[test]
+fn serving_example_answers_live_queries() {
+    let stdout = run_tiny("serving");
+    assert!(
+        stdout.contains("serving sessions"),
+        "unexpected serving output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"ranking\""),
+        "no top-k response in serving output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("opened  ->"),
+        "mid-stream session open missing in serving output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("updates/s under load"),
+        "no final report in serving output:\n{stdout}"
     );
 }
 
