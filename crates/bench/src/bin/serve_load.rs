@@ -5,18 +5,28 @@
 //! score 40%, threshold 10%, compare 10%) from several closed-loop client
 //! threads **while the write loop slides the update window** — the
 //! serving-layer analogue of the paper's "edges consumed per second under
-//! load" methodology. Reports queries/sec, p50/p99 query latency, cache
-//! hit rate, and the update throughput sustained under read load, as JSON
-//! (default `BENCH_3.json` at the repo root; `--pr N` / `--out PATH`
+//! load" methodology.
+//!
+//! Two client modes, run back-to-back against identical fresh servers:
+//!
+//! * `keepalive` — each client holds ONE HTTP/1.1 connection for the whole
+//!   run (reconnecting only on error), the way real query clients behave;
+//! * `close` — a fresh TCP connection per request (`Connection: close`),
+//!   the behaviour the old blocking front end forced on everyone.
+//!
+//! `--mode keepalive|close|both` picks (default `both`). Reports
+//! queries/sec, p50/p99 latency, cache hit rate, and the update throughput
+//! sustained under load per mode, plus the keep-alive/close p50 ratio, as
+//! JSON (default `BENCH_6.json` at the repo root; `--pr N` / `--out PATH`
 //! relabel it, `--full` scales the run up).
 
 use dppr_bench::ExperimentScale;
 use dppr_graph::generators::{rmat_stream, RmatParams};
 use dppr_graph::GraphStream;
-use dppr_serve::{start, ServeConfig};
+use dppr_serve::{start, ServeConfig, ServeReport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::io::{Read, Write as _};
+use std::io::{BufRead as _, BufReader, Read, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -33,15 +43,25 @@ struct LoadSpec {
     batch: usize,
 }
 
-fn one_query(
-    addr: SocketAddr,
-    rng: &mut SmallRng,
-    sources: &[u32],
-    n: usize,
-) -> Result<Duration, String> {
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    KeepAlive,
+    Close,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::KeepAlive => "keepalive",
+            Mode::Close => "close",
+        }
+    }
+}
+
+fn gen_target(rng: &mut SmallRng, sources: &[u32], n: usize) -> String {
     let source = sources[rng.gen_range(0..sources.len())];
     let roll: f64 = rng.gen_range(0.0..1.0);
-    let target = if roll < 0.4 {
+    if roll < 0.4 {
         format!("/topk?source={source}&k={}", rng.gen_range(5..25usize))
     } else if roll < 0.8 {
         format!("/score?source={source}&v={}", rng.gen_range(0..n as u32))
@@ -54,18 +74,80 @@ fn one_query(
             rng.gen_range(0..n as u32),
             rng.gen_range(0..n as u32)
         )
-    };
-    let t = Instant::now();
+    }
+}
+
+/// One request per connection: the old front end's cost model.
+fn close_query(addr: SocketAddr, target: &str) -> Result<(), String> {
     let mut conn = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     conn.set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| e.to_string())?;
-    write!(conn, "GET {target} HTTP/1.0\r\nHost: dppr\r\n\r\n").map_err(|e| e.to_string())?;
+    write!(conn, "GET {target} HTTP/1.1\r\nHost: dppr\r\nConnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
     let mut resp = String::new();
     conn.read_to_string(&mut resp).map_err(|e| e.to_string())?;
-    if !resp.starts_with("HTTP/1.0 200") {
+    if !resp.starts_with("HTTP/1.1 200") {
         return Err(format!("non-200 for {target}: {}", resp.lines().next().unwrap_or("")));
     }
-    Ok(t.elapsed())
+    Ok(())
+}
+
+/// Reads one `Content-Length`-framed response off a persistent (buffered)
+/// connection, returning its status line.
+fn read_framed_response(conn: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut status_line = String::new();
+    let mut line = String::new();
+    let mut len: Option<usize> = None;
+    loop {
+        line.clear();
+        match conn.read_line(&mut line) {
+            Ok(0) => return Err("EOF inside response head".into()),
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        if status_line.is_empty() {
+            status_line = line.trim_end().to_string();
+        } else if line == "\r\n" || line == "\n" {
+            break;
+        } else if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = Some(v.trim().parse().map_err(|_| "bad Content-Length")?);
+        }
+    }
+    let len = len.ok_or("missing Content-Length")?;
+    let mut body = vec![0u8; len];
+    conn.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(status_line)
+}
+
+/// One request over the client's persistent connection, (re)connecting as
+/// needed. On error the connection is dropped so the next call redials.
+fn keepalive_query(
+    conn: &mut Option<BufReader<TcpStream>>,
+    addr: SocketAddr,
+    target: &str,
+) -> Result<(), String> {
+    if conn.is_none() {
+        let c = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        c.set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        c.set_nodelay(true).map_err(|e| e.to_string())?;
+        *conn = Some(BufReader::new(c));
+    }
+    let c = conn.as_mut().expect("connection present");
+    let result = write!(c.get_mut(), "GET {target} HTTP/1.1\r\nHost: dppr\r\n\r\n")
+        .map_err(|e| e.to_string())
+        .and_then(|()| read_framed_response(c));
+    match result {
+        Ok(status) if status.starts_with("HTTP/1.1 200") => Ok(()),
+        Ok(status) => {
+            *conn = None; // desync-safe: never reuse after an odd answer
+            Err(format!("non-200 for {target}: {status}"))
+        }
+        Err(e) => {
+            *conn = None;
+            Err(format!("{target}: {e}"))
+        }
+    }
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -74,6 +156,133 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx] as f64 * 1e-6 // ns → ms
+}
+
+/// Client-side numbers for one mode plus the server's own books.
+struct ModeResult {
+    total: u64,
+    qps: f64,
+    p50: f64,
+    p99: f64,
+    errors: u64,
+    report: ServeReport,
+}
+
+/// Boots a fresh, identically-configured server and runs the full client
+/// fleet against it in `mode`.
+fn run_mode(mode: Mode, spec: &LoadSpec) -> ModeResult {
+    let raw = rmat_stream(spec.scale, spec.edges, RmatParams::default(), 0xBEEF);
+    let stream = GraphStream::directed(raw).permuted(7);
+    let sources = dppr_serve::pick_top_degree_sources(&stream, 0.1, spec.sessions);
+    let n = stream.vertex_bound();
+    let handle = start(
+        stream,
+        0.1,
+        &sources,
+        ServeConfig {
+            threads: spec.threads,
+            batch: spec.batch,
+            epsilon: 1e-4,
+            cache_capacity: 4_096,
+            // Pace the stream: a real update feed arrives at some rate
+            // instead of replaying as fast as one core can push it, and an
+            // unpaced writer starves the query path of CPU on small boxes.
+            // `updates_per_sec` is normalized to engine time, so pacing
+            // does not distort the update-throughput comparison.
+            slide_pause: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.addr();
+    eprintln!(
+        "[{}] serving {} sessions over n={n} at {addr}; {} clients for {:?}",
+        mode.name(),
+        sources.len(),
+        spec.clients,
+        spec.duration
+    );
+
+    let clients: Vec<_> = (0..spec.clients)
+        .map(|c| {
+            let sources = sources.clone();
+            let duration = spec.duration;
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xAB00 + c as u64);
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                let mut conn: Option<BufReader<TcpStream>> = None;
+                let until = Instant::now() + duration;
+                while Instant::now() < until {
+                    let target = gen_target(&mut rng, &sources, n);
+                    let t = Instant::now();
+                    let outcome = match mode {
+                        Mode::KeepAlive => keepalive_query(&mut conn, addr, &target),
+                        Mode::Close => close_query(addr, &target),
+                    };
+                    match outcome {
+                        Ok(()) => latencies_ns.push(t.elapsed().as_nanos() as u64),
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("[{}] client {c}: {e}", mode.name());
+                        }
+                    }
+                }
+                (latencies_ns, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for c in clients {
+        let (mut l, e) = c.join().expect("client thread");
+        latencies.append(&mut l);
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let qps = total as f64 / spec.duration.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let report = handle.join();
+    eprintln!(
+        "[{}] {total} queries ({qps:.0}/s, p50 {p50:.3} ms, p99 {p99:.3} ms, {errors} errors); \
+         {} slides, {:.0} updates/s under load; cache hit rate {:.3}; \
+         {} conns for {} requests",
+        mode.name(),
+        report.slides,
+        report.updates_per_sec,
+        report.cache.hit_rate(),
+        report.connections,
+        report.http_requests,
+    );
+    ModeResult { total, qps, p50, p99, errors, report }
+}
+
+fn mode_json(r: &ModeResult) -> String {
+    format!(
+        "{{\n    \"queries\": {{ \"total\": {}, \"per_sec\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"errors\": {} }},\n    \"http\": {{ \"connections\": {}, \"requests\": {}, \"bad_requests\": {}, \"shed\": {} }},\n    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n    \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n    \"epoch\": {}\n  }}",
+        r.total,
+        r.qps,
+        r.p50,
+        r.p99,
+        r.errors,
+        r.report.connections,
+        r.report.http_requests,
+        r.report.bad_requests,
+        r.report.shed,
+        r.report.cache.hits,
+        r.report.cache.misses,
+        r.report.cache.evictions,
+        r.report.cache.hit_rate(),
+        r.report.slides,
+        r.report.updates_offered,
+        r.report.updates_applied,
+        r.report.updates_per_sec,
+        r.report.stream_done,
+        r.report.epoch,
+    )
 }
 
 fn main() {
@@ -85,11 +294,20 @@ fn main() {
             .expect("--pr requires a number")
             .parse()
             .expect("--pr requires a number"),
-        None => 3,
+        None => 6,
     };
     let out_path: PathBuf = match args.iter().position(|a| a == "--out") {
         Some(i) => PathBuf::from(args.get(i + 1).expect("--out requires a path argument")),
         None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{pr}.json")),
+    };
+    let modes: Vec<Mode> = match args.iter().position(|a| a == "--mode") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("keepalive") => vec![Mode::KeepAlive],
+            Some("close") => vec![Mode::Close],
+            Some("both") => vec![Mode::KeepAlive, Mode::Close],
+            other => panic!("--mode must be keepalive|close|both, got {other:?}"),
+        },
+        None => vec![Mode::KeepAlive, Mode::Close],
     };
     let spec = match scale {
         ExperimentScale::Quick => LoadSpec {
@@ -112,83 +330,14 @@ fn main() {
         },
     };
 
-    // --- server -----------------------------------------------------------
-    let raw = rmat_stream(spec.scale, spec.edges, RmatParams::default(), 0xBEEF);
-    let stream = GraphStream::directed(raw).permuted(7);
-    let sources = dppr_serve::pick_top_degree_sources(&stream, 0.1, spec.sessions);
-    let n = stream.vertex_bound();
-    let handle = start(
-        stream,
-        0.1,
-        &sources,
-        ServeConfig {
-            threads: spec.threads,
-            batch: spec.batch,
-            epsilon: 1e-4,
-            cache_capacity: 4_096,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("server start");
-    let addr = handle.addr();
-    eprintln!(
-        "serving {} sessions over n={n} at {addr}; {} clients for {:?}",
-        sources.len(),
-        spec.clients,
-        spec.duration
-    );
-
-    // --- closed-loop clients ---------------------------------------------
-    let clients: Vec<_> = (0..spec.clients)
-        .map(|c| {
-            let sources = sources.clone();
-            let duration = spec.duration;
-            std::thread::spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(0xAB00 + c as u64);
-                let mut latencies_ns: Vec<u64> = Vec::new();
-                let mut errors = 0u64;
-                let until = Instant::now() + duration;
-                while Instant::now() < until {
-                    match one_query(addr, &mut rng, &sources, n) {
-                        Ok(lat) => latencies_ns.push(lat.as_nanos() as u64),
-                        Err(e) => {
-                            errors += 1;
-                            eprintln!("client {c}: {e}");
-                        }
-                    }
-                }
-                (latencies_ns, errors)
-            })
-        })
-        .collect();
-
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut errors = 0u64;
-    for c in clients {
-        let (mut l, e) = c.join().expect("client thread");
-        latencies.append(&mut l);
-        errors += e;
-    }
-    latencies.sort_unstable();
-    let total = latencies.len() as u64;
-    let qps = total as f64 / spec.duration.as_secs_f64();
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
-
-    // --- server-side numbers ---------------------------------------------
-    let report = handle.join();
-    eprintln!(
-        "{total} queries ({qps:.0}/s, p50 {p50:.3} ms, p99 {p99:.3} ms, {errors} errors); \
-         {} slides, {:.0} updates/s under load; cache hit rate {:.3}",
-        report.slides,
-        report.updates_per_sec,
-        report.cache.hit_rate()
-    );
+    let results: Vec<(Mode, ModeResult)> =
+        modes.iter().map(|&m| (m, run_mode(m, &spec))).collect();
 
     // --- JSON -------------------------------------------------------------
+    let n = 1usize << spec.scale; // vertex bound of the generated stream
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"dppr-serve-load/v1\",\n");
+    json.push_str("  \"schema\": \"dppr-serve-load/v2\",\n");
     json.push_str(&format!("  \"pr\": {pr},\n"));
     json.push_str(&format!(
         "  \"scale\": \"{}\",\n",
@@ -199,35 +348,26 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"server\": {{ \"stream\": \"rmat_stream(scale={}, m={}, seed=0xBEEF)\", \"vertices\": {n}, \"sessions\": {}, \"threads\": {}, \"batch\": {}, \"epsilon\": 1e-4, \"cache_capacity\": 4096 }},\n",
-        spec.scale,
-        spec.edges,
-        sources.len(),
-        spec.threads,
-        spec.batch
+        spec.scale, spec.edges, spec.sessions, spec.threads, spec.batch
     ));
     json.push_str(&format!(
         "  \"load\": {{ \"clients\": {}, \"duration_secs\": {}, \"mix\": \"{MIX}\" }},\n",
         spec.clients,
         spec.duration.as_secs()
     ));
-    json.push_str(&format!(
-        "  \"queries\": {{ \"total\": {total}, \"per_sec\": {qps:.0}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"errors\": {errors} }},\n"
-    ));
-    json.push_str(&format!(
-        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n",
-        report.cache.hits,
-        report.cache.misses,
-        report.cache.evictions,
-        report.cache.hit_rate()
-    ));
-    json.push_str(&format!(
-        "  \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n",
-        report.slides,
-        report.updates_offered,
-        report.updates_applied,
-        report.updates_per_sec, report.stream_done
-    ));
-    json.push_str(&format!("  \"epoch\": {}\n", report.epoch));
+    for (m, r) in &results {
+        json.push_str(&format!("  \"{}\": {},\n", m.name(), mode_json(r)));
+    }
+    let ka = results.iter().find(|(m, _)| *m == Mode::KeepAlive);
+    let cl = results.iter().find(|(m, _)| *m == Mode::Close);
+    if let (Some((_, ka)), Some((_, cl))) = (ka, cl) {
+        let speedup = if ka.p50 > 0.0 { cl.p50 / ka.p50 } else { 0.0 };
+        json.push_str(&format!(
+            "  \"comparison\": {{ \"p50_speedup_keepalive_vs_close\": {speedup:.2} }},\n"
+        ));
+    }
+    let errors: u64 = results.iter().map(|(_, r)| r.errors).sum();
+    json.push_str(&format!("  \"errors\": {errors}\n"));
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json)

@@ -95,6 +95,19 @@ impl Args {
         }
     }
 
+    /// Float option with a default, rejecting `NaN` and `±inf`: `--alpha
+    /// nan` would otherwise flow into the engine, where every comparison
+    /// against it is false and the run silently degenerates instead of
+    /// failing here with a message.
+    pub fn get_finite(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        let v: f64 = self.get_parsed(key, default)?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(err(format!("non-finite value for --{key}: {v}")))
+        }
+    }
+
     /// Whether a bare flag was given.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
@@ -124,6 +137,17 @@ mod tests {
             .unwrap()
             .get_parsed::<usize>("k", 0)
             .is_err());
+    }
+
+    #[test]
+    fn finite_floats_reject_nan_and_inf() {
+        for bad in ["nan", "NaN", "inf", "-inf", "Infinity"] {
+            let a = Args::parse(["x", "--alpha", bad]).unwrap();
+            assert!(a.get_finite("alpha", 0.15).is_err(), "--alpha {bad} must fail");
+        }
+        let a = Args::parse(["x", "--alpha", "0.2"]).unwrap();
+        assert_eq!(a.get_finite("alpha", 0.15).unwrap(), 0.2);
+        assert_eq!(a.get_finite("missing", 0.15).unwrap(), 0.15);
     }
 
     #[test]
@@ -221,6 +245,8 @@ mod tests {
             "--sources", "0,3,9", "--cache-capacity", "2048", "--session-capacity", "32",
             "--alpha", "0.15", "--epsilon", "1e-4", "--batch", "500", "--max-slides",
             "100", "--slide-pause-ms", "5", "--run-secs", "60", "--seed", "7",
+            "--read-timeout-ms", "5000", "--write-timeout-ms", "8000",
+            "--shed-after-ms", "250", "--conn-backlog", "128",
         ])
         .unwrap();
         assert_eq!(a.command, "serve");
@@ -229,12 +255,16 @@ mod tests {
         assert_eq!(a.get("sources"), Some("0,3,9"));
         assert_eq!(a.get_parsed("cache-capacity", 0usize).unwrap(), 2_048);
         assert_eq!(a.get_parsed("session-capacity", 0usize).unwrap(), 32);
-        assert_eq!(a.get_parsed("alpha", 0.0f64).unwrap(), 0.15);
-        assert_eq!(a.get_parsed("epsilon", 0.0f64).unwrap(), 1e-4);
+        assert_eq!(a.get_finite("alpha", 0.0).unwrap(), 0.15);
+        assert_eq!(a.get_finite("epsilon", 0.0).unwrap(), 1e-4);
         assert_eq!(a.get_parsed("batch", 0usize).unwrap(), 500);
         assert_eq!(a.get_parsed("max-slides", 0usize).unwrap(), 100);
         assert_eq!(a.get_parsed("slide-pause-ms", 0u64).unwrap(), 5);
         assert_eq!(a.get_parsed("run-secs", 0u64).unwrap(), 60);
+        assert_eq!(a.get_parsed("read-timeout-ms", 0u64).unwrap(), 5_000);
+        assert_eq!(a.get_parsed("write-timeout-ms", 0u64).unwrap(), 8_000);
+        assert_eq!(a.get_parsed("shed-after-ms", 0u64).unwrap(), 250);
+        assert_eq!(a.get_parsed("conn-backlog", 0usize).unwrap(), 128);
 
         // An ephemeral-port line with top-degree source picking instead of
         // an explicit list.

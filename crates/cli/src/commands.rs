@@ -104,8 +104,8 @@ fn parse_variant(raw: &str) -> Result<PushVariant, CliError> {
 pub fn run(args: &Args) -> Result<String, CliError> {
     let (edges, undirected, name) = load_edges(args)?;
     let seed: u64 = args.get_parsed("seed", 1u64)?;
-    let alpha: f64 = args.get_parsed("alpha", 0.15f64)?;
-    let epsilon: f64 = args.get_parsed("epsilon", 1e-5f64)?;
+    let alpha: f64 = args.get_finite("alpha", 0.15)?;
+    let epsilon: f64 = args.get_finite("epsilon", 1e-5)?;
     let batch: usize = args.get_parsed("batch", 1_000usize)?;
     let slides: usize = args.get_parsed("slides", 10usize)?;
 
@@ -193,8 +193,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 pub fn query(args: &Args) -> Result<String, CliError> {
     let (edges, undirected, name) = load_edges(args)?;
     let source: VertexId = args.get_parsed("source", 0u32)?;
-    let alpha: f64 = args.get_parsed("alpha", 0.15f64)?;
-    let epsilon: f64 = args.get_parsed("epsilon", 1e-5f64)?;
+    let alpha: f64 = args.get_finite("alpha", 0.15)?;
+    let epsilon: f64 = args.get_finite("epsilon", 1e-5)?;
     let cfg = PprConfig::new(source, alpha, epsilon);
     let mut engine = ParallelEngine::new(cfg, PushVariant::OPT);
     let mut g = DynamicGraph::new();
@@ -220,8 +220,8 @@ pub fn query(args: &Args) -> Result<String, CliError> {
     for b in &ans.ranking {
         writeln!(out, "{}\t{:.8}\t{:.8}\t{:.8}", b.vertex, b.estimate, b.lo, b.hi).unwrap();
     }
-    if let Some(raw) = args.get("threshold") {
-        let delta: f64 = raw.parse().map_err(|_| err(format!("bad --threshold {raw:?}")))?;
+    if args.get("threshold").is_some() {
+        let delta: f64 = args.get_finite("threshold", 0.0)?;
         let t = queries::above_threshold(engine.state(), delta);
         writeln!(
             out,
@@ -277,13 +277,21 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         threads: args.get_parsed("threads", 4usize)?,
         cache_capacity: args.get_parsed("cache-capacity", 1024usize)?,
         session_capacity: args.get_parsed("session-capacity", 64usize)?,
-        alpha: args.get_parsed("alpha", 0.15f64)?,
-        epsilon: args.get_parsed("epsilon", 1e-4f64)?,
+        alpha: args.get_finite("alpha", 0.15)?,
+        epsilon: args.get_finite("epsilon", 1e-4)?,
         batch: args.get_parsed("batch", 500usize)?,
         max_slides: args.get_parsed("max-slides", 0usize)?,
         slide_pause: std::time::Duration::from_millis(
             args.get_parsed("slide-pause-ms", 0u64)?,
         ),
+        read_timeout: std::time::Duration::from_millis(
+            args.get_parsed("read-timeout-ms", 10_000u64)?,
+        ),
+        write_timeout: std::time::Duration::from_millis(
+            args.get_parsed("write-timeout-ms", 10_000u64)?,
+        ),
+        shed_after: std::time::Duration::from_millis(args.get_parsed("shed-after-ms", 1_000u64)?),
+        conn_backlog: args.get_parsed("conn-backlog", 256usize)?,
     };
     let run_secs: u64 = args.get_parsed("run-secs", 0u64)?;
 
@@ -338,7 +346,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
 pub fn exact(args: &Args) -> Result<String, CliError> {
     let (edges, undirected, name) = load_edges(args)?;
     let source: VertexId = args.get_parsed("source", 0u32)?;
-    let alpha: f64 = args.get_parsed("alpha", 0.15f64)?;
+    let alpha: f64 = args.get_finite("alpha", 0.15)?;
     let g = materialize(&edges, undirected);
     let p = exact_ppr(&g, source, alpha, 1e-12);
     let k: usize = args.get_parsed("top", 10usize)?;

@@ -61,7 +61,11 @@ COMMANDS
              [--sources 0,3,9 | --num-sources K]  [--cache-capacity N]
              [--session-capacity N]  [--alpha A] [--epsilon E] [--batch K]
              [--max-slides N]  [--slide-pause-ms MS]  [--run-secs S]
-             [--seed S]
+             [--seed S]  [--read-timeout-ms MS (10000)]
+             [--write-timeout-ms MS (10000)]  [--shed-after-ms MS (1000;
+             0 = never shed)]  [--conn-backlog N (256 per shard)]
+             Connections are HTTP/1.1 keep-alive, served by poll(2)
+             event-loop shards; overload answers 503 + Retry-After.
              Endpoints: /topk?source=S&k=K  /score?source=S&v=V
              /threshold?source=S&delta=D  /compare?source=S&a=A&b=B
              /sessions  /session/open?source=S  /session/close?source=S

@@ -70,18 +70,18 @@ fn dppr_serve_answers_live_queries_and_shuts_down() {
     // Well-formed top-k and score responses for a tracked source.
     let s = &sources[0];
     let resp = http(&addr, "GET", &format!("/topk?source={s}&k=3"));
-    assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "{resp}");
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
     assert!(resp.contains("Content-Type: application/json"), "{resp}");
     assert!(resp.contains("\"ranking\":[{\"vertex\":"), "{resp}");
     let resp = http(&addr, "GET", &format!("/score?source={s}&v=0"));
-    assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "{resp}");
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
     assert!(
         resp.contains("\"estimate\":") && resp.contains("\"lo\":"),
         "{resp}"
     );
     // Untracked source → a clean JSON 404, not a hang or crash.
     let resp = http(&addr, "GET", "/topk?source=199999");
-    assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+    assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
     assert!(resp.contains("\"error\":"), "{resp}");
     // The update loop is alive behind the queries.
     let resp = http(&addr, "GET", "/stats");

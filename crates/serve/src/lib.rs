@@ -19,17 +19,29 @@
 //!   budget.
 //! * [`cache`] — the [`QueryCache`], keyed by `(source, query, params)`
 //!   and implicitly invalidated by every epoch bump.
-//! * [`http`] / [`json`] — a hand-rolled HTTP/1.0 + JSON layer (the build
-//!   environment is offline: no tokio, no serde — `TcpListener` and a
-//!   fixed thread pool).
+//! * [`http`] / [`json`] — a hand-rolled HTTP/1.1 + JSON layer (the build
+//!   environment is offline: no tokio, no serde, no hyper). Requests are
+//!   parsed incrementally ([`http::try_parse`]) with percent-decoded
+//!   query params; responses carry explicit keep-alive semantics.
+//! * [`conn`] — the per-connection state machine: non-blocking reads into
+//!   a bounded head buffer, pipelined request extraction, buffered
+//!   writes, and read/write deadline accounting.
+//! * [`event`] — the readiness-polled serving loop: one `poll(2)` shard
+//!   per thread (via the vendored `minipoll` wrapper), each owning its
+//!   connections outright, fed by a bounded accept queue with
+//!   `503 Retry-After` load shedding when full.
 //! * [`server`] — the assembled instance: write loop sliding
 //!   `StreamDriver` batches in the background, epoch publication after
-//!   every batch, acceptor + worker pool answering queries concurrently.
+//!   every batch, acceptor + event-loop shards answering queries
+//!   concurrently (keep-alive clients cost one poll registration, not one
+//!   thread), and query-side shedding while a slide lags the stream.
 //!
 //! Start one with [`start`]; drive it with `dppr serve` from the CLI.
 
 pub mod cache;
+pub mod conn;
 pub mod epoch;
+pub mod event;
 pub mod http;
 pub mod json;
 pub mod registry;
@@ -37,7 +49,10 @@ pub mod server;
 pub mod snapshot;
 
 pub use cache::{CacheStats, QueryCache, QueryKind};
+pub use conn::{Close, Conn, Step};
 pub use epoch::{EpochDomain, Reader, SnapshotCell};
+pub use event::{ConnCounters, Router, ShardConfig};
+pub use http::{Request, Response};
 pub use registry::{OpenOutcome, SessionEntry, SessionRegistry};
 pub use server::{
     pick_top_degree_sources, start, ServeConfig, ServeReport, ServerHandle, ServerStats,

@@ -1,4 +1,4 @@
-//! The serving instance: write loop + acceptor + worker pool.
+//! The serving instance: write loop + acceptor + event-loop shards.
 //!
 //! ```text
 //!                     ┌────────────────────────────────────────────┐
@@ -6,9 +6,10 @@
 //!                     │  slide → apply batch → advance epoch ──────┼──▶ publish
 //!                     └────────────▲───────────────────────────────┘    per-session
 //!                                  │ control (open/close)               SnapshotCell
-//!  TCP clients ──▶ acceptor ──▶ worker pool ── lookup ──▶ registry ──▶ lock-free load
-//!                                  │                                    of Arc<QuerySnapshot>
-//!                                  └── epoch-keyed QueryCache
+//!  TCP clients ──▶ acceptor ──▶ shard event loops ── lookup ──▶ registry
+//!                  (bounded        │ poll(2), keep-alive,          │
+//!                   hand-off,      │ per-conn state machines       └─▶ lock-free load
+//!                   503 shed)      └── epoch-keyed QueryCache          of Arc<QuerySnapshot>
 //! ```
 //!
 //! Readers never hold a lock while the writer works: a query takes one
@@ -17,10 +18,18 @@
 //! requests travel over a channel and are applied by the write loop
 //! *between* batches, which is what keeps `MultiSourcePpr`'s mutable state
 //! single-threaded.
+//!
+//! The front end is event-driven (see [`crate::event`]): each shard
+//! thread owns its connections and multiplexes them with `poll(2)`, so a
+//! keep-alive client costs one registration instead of one thread, a
+//! non-reading client is bounded by the write deadline instead of
+//! pinning a worker, and overload surfaces as fast `503 Retry-After`
+//! responses instead of an unbounded backlog.
 
 use crate::cache::{CacheStats, QueryCache, QueryKind};
 use crate::epoch::{EpochDomain, Reader};
-use crate::http::{read_request, respond_json, Request};
+use crate::event::{spawn_shard, ConnCounters, Router, ShardConfig, ShardGate, ShardHandle};
+use crate::http::{render_response, Request, Response};
 use crate::json::{error_body, JsonBuf};
 use crate::registry::{OpenOutcome, SessionRegistry};
 use crate::snapshot::QuerySnapshot;
@@ -28,11 +37,11 @@ use dppr_core::queries::BoundedScore;
 use dppr_core::{MultiSourcePpr, PushVariant};
 use dppr_graph::{GraphStream, VertexId};
 use dppr_stream::StreamDriver;
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, sync_channel, RecvTimeoutError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,7 +50,7 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral).
     pub port: u16,
-    /// HTTP worker threads.
+    /// Event-loop shard threads.
     pub threads: usize,
     /// Query-cache capacity in entries (0 disables the cache).
     pub cache_capacity: usize,
@@ -57,6 +66,19 @@ pub struct ServeConfig {
     pub max_slides: usize,
     /// Optional pause between slides, to throttle the update stream.
     pub slide_pause: Duration,
+    /// Close a connection that completes no request for this long
+    /// (keep-alive idle limit and slow-request limit in one).
+    pub read_timeout: Duration,
+    /// Close a connection whose peer stops draining responses for this
+    /// long — a non-reading client must not pin server state forever.
+    pub write_timeout: Duration,
+    /// Shed query traffic with `503 Retry-After` while a window slide has
+    /// been in flight longer than this (the published epoch is lagging
+    /// the stream). Zero disables shedding.
+    pub shed_after: Duration,
+    /// Bound on each shard's accept hand-off queue; with every queue
+    /// full, new connections are answered `503 Retry-After` and closed.
+    pub conn_backlog: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +93,10 @@ impl Default for ServeConfig {
             batch: 500,
             max_slides: 0,
             slide_pause: Duration::ZERO,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            shed_after: Duration::from_secs(1),
+            conn_backlog: 256,
         }
     }
 }
@@ -88,6 +114,8 @@ pub struct ServerStats {
     pub update_nanos: AtomicU64,
     /// Query requests answered (any kind, any status).
     pub queries: AtomicU64,
+    /// Query requests shed with 503 while the write loop lagged.
+    pub shed: AtomicU64,
     /// Sessions opened over HTTP.
     pub sessions_opened: AtomicU64,
     /// Sessions closed over HTTP.
@@ -96,6 +124,10 @@ pub struct ServerStats {
     pub sessions_evicted: AtomicU64,
     /// Whether the update stream has been run dry.
     pub stream_done: AtomicBool,
+    /// Start-relative nanos (+1) of the slide currently being applied;
+    /// 0 while the write loop is idle/between slides. The shed check
+    /// reads this to see how long the published epoch has been stale.
+    pub slide_started_ns: AtomicU64,
 }
 
 impl ServerStats {
@@ -126,6 +158,18 @@ pub struct ServeReport {
     pub updates_per_sec: f64,
     /// Query requests answered.
     pub queries: u64,
+    /// HTTP requests answered (all endpoints, all statuses).
+    pub http_requests: u64,
+    /// Connections accepted by the shards.
+    pub connections: u64,
+    /// Malformed/oversized requests answered 400.
+    pub bad_requests: u64,
+    /// Connections reaped by the read deadline.
+    pub read_timeouts: u64,
+    /// Connections reaped by the write deadline.
+    pub write_timeouts: u64,
+    /// Queries shed 503 while the write loop lagged.
+    pub shed: u64,
     /// Cache counters.
     pub cache: CacheStats,
     /// Sessions open at shutdown.
@@ -139,19 +183,44 @@ enum Control {
     Close(VertexId),
 }
 
-/// State shared by every worker thread.
+/// State shared by the shards, the acceptor, and the write loop.
 struct Ctx {
     domain: Arc<EpochDomain>,
     registry: Arc<SessionRegistry>,
     cache: Arc<QueryCache>,
     stats: Arc<ServerStats>,
+    conn: Arc<ConnCounters>,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
+    /// Instance birth; `slide_started_ns` is relative to this.
+    start: Instant,
+    /// See [`ServeConfig::shed_after`].
+    shed_after: Duration,
     /// One past the largest vertex id the stream will ever mention; the
     /// upper bound for `/session/open` requests (an unchecked id would
     /// make `cold_start` allocate `source + 1` slots — a single request
     /// naming vertex 4e9 must not OOM the server).
     vertex_bound: usize,
+}
+
+impl Ctx {
+    /// Nanoseconds the in-flight slide has been running, or `None` while
+    /// the write loop is between slides.
+    fn slide_in_flight(&self) -> Option<Duration> {
+        match self.stats.slide_started_ns.load(Relaxed) {
+            0 => None,
+            marker => {
+                let started = Duration::from_nanos(marker - 1);
+                Some(self.start.elapsed().saturating_sub(started))
+            }
+        }
+    }
+
+    /// Whether query traffic should currently be shed.
+    fn lagging(&self) -> bool {
+        !self.shed_after.is_zero()
+            && self.slide_in_flight().is_some_and(|d| d > self.shed_after)
+    }
 }
 
 /// A running serving instance. Dropping the handle without calling
@@ -163,8 +232,9 @@ pub struct ServerHandle {
     registry: Arc<SessionRegistry>,
     cache: Arc<QueryCache>,
     stats: Arc<ServerStats>,
+    conn: Arc<ConnCounters>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shards: Vec<ShardHandle>,
     writer: Option<JoinHandle<()>>,
 }
 
@@ -177,6 +247,11 @@ impl ServerHandle {
     /// Live counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// Live connection-layer counters.
+    pub fn conn_counters(&self) -> &ConnCounters {
+        &self.conn
     }
 
     /// The query cache (for its hit/miss counters).
@@ -199,11 +274,14 @@ impl ServerHandle {
         self.shutdown.load(SeqCst)
     }
 
-    /// Requests shutdown and wakes the acceptor.
+    /// Requests shutdown and wakes the acceptor and every shard.
     pub fn shutdown(&self) {
         self.shutdown.store(true, SeqCst);
         // Unblock the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        for s in &self.shards {
+            s.wake();
+        }
     }
 
     /// Shuts down, joins every thread, and reports the final counters.
@@ -212,8 +290,8 @@ impl ServerHandle {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        for s in self.shards.drain(..) {
+            s.join();
         }
         if let Some(h) = self.writer.take() {
             let _ = h.join();
@@ -225,6 +303,12 @@ impl ServerHandle {
             updates_applied: self.stats.updates_applied.load(Relaxed),
             updates_per_sec: self.stats.updates_per_sec(),
             queries: self.stats.queries.load(Relaxed),
+            http_requests: self.conn.requests.load(Relaxed),
+            connections: self.conn.accepted.load(Relaxed),
+            bad_requests: self.conn.bad_requests.load(Relaxed),
+            read_timeouts: self.conn.read_timeouts.load(Relaxed),
+            write_timeouts: self.conn.write_timeouts.load(Relaxed),
+            shed: self.stats.shed.load(Relaxed),
             cache: self.cache.stats(),
             sessions: self.registry.len(),
             stream_done: self.stats.stream_done.load(Relaxed),
@@ -255,9 +339,9 @@ pub fn pick_top_degree_sources(
 
 /// Boots a serving instance over `stream`: applies the initial window for
 /// every source in `sources` (so the returned handle is immediately
-/// queryable), then starts the write loop, the acceptor, and the worker
-/// pool. `init_fraction` is the sliding-window warmup share (the paper
-/// uses 0.1).
+/// queryable), then starts the write loop, the acceptor, and the
+/// event-loop shards. `init_fraction` is the sliding-window warmup share
+/// (the paper uses 0.1).
 pub fn start(
     stream: GraphStream,
     init_fraction: f64,
@@ -272,7 +356,7 @@ pub fn start(
         ));
     }
     let threads = cfg.threads.max(1);
-    // Workers + slack for external Reader users (tests, in-process tools).
+    // Shards + slack for external Reader users (tests, in-process tools).
     let domain = EpochDomain::new(threads + 4);
     let registry = Arc::new(SessionRegistry::new(
         Arc::clone(&domain),
@@ -280,6 +364,7 @@ pub fn start(
     ));
     let cache = Arc::new(QueryCache::new(cfg.cache_capacity));
     let stats = Arc::new(ServerStats::default());
+    let conn_counters = Arc::new(ConnCounters::default());
     let shutdown = Arc::new(AtomicBool::new(false));
 
     // --- bootstrap synchronously: sessions are live before we return ----
@@ -303,16 +388,17 @@ pub fn start(
     let addr = listener.local_addr()?;
 
     let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
-    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
 
     let ctx = Arc::new(Ctx {
         domain: Arc::clone(&domain),
         registry: Arc::clone(&registry),
         cache: Arc::clone(&cache),
         stats: Arc::clone(&stats),
+        conn: Arc::clone(&conn_counters),
         shutdown: Arc::clone(&shutdown),
         addr,
+        start: Instant::now(),
+        shed_after: cfg.shed_after,
         vertex_bound,
     });
 
@@ -325,44 +411,64 @@ pub fn start(
             .spawn(move || write_loop(driver, multi, ctl_rx, ctx, cfg))?
     };
 
-    // --- worker pool ------------------------------------------------------
-    let mut workers = Vec::with_capacity(threads);
+    // --- event-loop shards ------------------------------------------------
+    let shard_cfg = ShardConfig {
+        read_timeout: cfg.read_timeout,
+        write_timeout: cfg.write_timeout,
+    };
+    let mut shards = Vec::with_capacity(threads);
+    let mut gates: Vec<ShardGate> = Vec::with_capacity(threads);
     for w in 0..threads {
-        let ctx = Arc::clone(&ctx);
-        let conn_rx = Arc::clone(&conn_rx);
-        let ctl_tx = ctl_tx.clone();
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("dppr-serve-worker-{w}"))
-                .spawn(move || {
-                    let reader = ctx.domain.register_reader();
-                    loop {
-                        let conn = conn_rx.lock().unwrap().recv();
-                        let Ok(mut conn) = conn else { break };
-                        // Client-side errors (parse failures, dropped
-                        // connections) must not take the worker down.
-                        let _ = handle_connection(&mut conn, &ctx, &reader, &ctl_tx);
-                    }
-                })?,
-        );
+        let router = RouterImpl {
+            ctx: Arc::clone(&ctx),
+            reader: domain.register_reader(),
+            ctl_tx: ctl_tx.clone(),
+        };
+        let (queue_tx, queue_rx) = sync_channel::<TcpStream>(cfg.conn_backlog.max(1));
+        let shard = spawn_shard(
+            format!("dppr-serve-shard-{w}"),
+            shard_cfg.clone(),
+            queue_rx,
+            queue_tx,
+            Arc::clone(&shutdown),
+            Arc::clone(&conn_counters),
+            router,
+        )?;
+        gates.push(shard.gate()?);
+        shards.push(shard);
     }
     drop(ctl_tx);
 
     // --- acceptor ---------------------------------------------------------
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
         std::thread::Builder::new()
             .name("dppr-serve-acceptor".into())
             .spawn(move || {
+                let mut next = 0usize;
                 loop {
                     match listener.accept() {
                         Ok((conn, _)) => {
                             if shutdown.load(SeqCst) {
                                 break; // wake-up connection, not a client
                             }
-                            if conn_tx.send(conn).is_err() {
-                                break;
+                            // Round-robin, falling through to any shard
+                            // with room; every queue full → shed at the
+                            // door with 503.
+                            let mut pending = Some(conn);
+                            for probe in 0..gates.len() {
+                                let c = pending.take().expect("stream present");
+                                match gates[(next + probe) % gates.len()].try_adopt(c) {
+                                    Ok(()) => break,
+                                    Err(back) => pending = Some(back),
+                                }
                             }
+                            if let Some(c) = pending {
+                                stats.shed.fetch_add(1, Relaxed);
+                                shed_at_door(c);
+                            }
+                            next = next.wrapping_add(1);
                         }
                         Err(_) => {
                             if shutdown.load(SeqCst) {
@@ -374,7 +480,6 @@ pub fn start(
                         }
                     }
                 }
-                // Dropping conn_tx drains the worker pool.
             })?
     };
 
@@ -385,10 +490,28 @@ pub fn start(
         registry,
         cache,
         stats,
+        conn: conn_counters,
         acceptor: Some(acceptor),
-        workers,
+        shards,
         writer: Some(writer),
     })
+}
+
+/// Answers an un-adoptable connection with `503 Retry-After: 1`
+/// (best-effort, non-blocking) and drops it.
+fn shed_at_door(conn: TcpStream) {
+    let mut out = Vec::with_capacity(160);
+    render_response(
+        &mut out,
+        &Response {
+            status: 503,
+            body: error_body("server is at connection capacity").into(),
+            retry_after: Some(1),
+        },
+        false,
+    );
+    let _ = conn.set_nonblocking(true);
+    let _ = (&conn).write(&out);
 }
 
 fn write_loop(
@@ -420,6 +543,12 @@ fn write_loop(
             ctx.stats.stream_done.store(true, Relaxed);
             continue;
         };
+        // Lag marker: queries observe how long this slide has been in
+        // flight and shed once it exceeds `shed_after` (the snapshot they
+        // would serve is stale by at least that much).
+        ctx.stats
+            .slide_started_ns
+            .store(ctx.start.elapsed().as_nanos() as u64 + 1, Relaxed);
         let t = Instant::now();
         let applied = multi.apply_batch(driver.graph_mut(), &batch);
         ctx.stats.update_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
@@ -437,6 +566,7 @@ fn write_loop(
                 );
             }
         }
+        ctx.stats.slide_started_ns.store(0, Relaxed);
         if !cfg.slide_pause.is_zero() {
             std::thread::sleep(cfg.slide_pause);
         }
@@ -481,6 +611,23 @@ fn remove_maintained(multi: &mut MultiSourcePpr, source: VertexId) {
 
 // --- request routing ------------------------------------------------------
 
+/// The per-shard router: shared state + this shard's epoch reader and
+/// control-channel handle.
+struct RouterImpl {
+    ctx: Arc<Ctx>,
+    reader: Reader,
+    ctl_tx: mpsc::Sender<Control>,
+}
+
+impl Router for RouterImpl {
+    fn route(&mut self, req: &Request) -> Response {
+        match route(req, &self.ctx, &self.reader, &self.ctl_tx) {
+            Ok(resp) => resp,
+            Err(msg) => Response::new(400, error_body(&msg)),
+        }
+    }
+}
+
 fn push_bounded(j: &mut JsonBuf, b: &BoundedScore) {
     j.begin_obj();
     j.key("vertex").uint(b.vertex as u64);
@@ -490,49 +637,45 @@ fn push_bounded(j: &mut JsonBuf, b: &BoundedScore) {
     j.end_obj();
 }
 
-fn handle_connection(
-    conn: &mut TcpStream,
-    ctx: &Ctx,
-    reader: &Reader,
-    ctl_tx: &mpsc::Sender<Control>,
-) -> io::Result<()> {
-    let req = match read_request(conn) {
-        Ok(r) => r,
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            return respond_json(conn, 400, &error_body(&e.to_string()));
-        }
-        Err(e) => return Err(e),
-    };
-    match route(&req, ctx, reader, ctl_tx) {
-        Ok((status, body)) => respond_json(conn, status, &body),
-        Err(msg) => respond_json(conn, 400, &error_body(&msg)),
-    }
-}
-
 /// Loads the snapshot for a `source=` query parameter, or a 404 body.
 fn snapshot_for(
     req: &Request,
     ctx: &Ctx,
     reader: &Reader,
-) -> Result<Result<Arc<QuerySnapshot>, (u16, Arc<str>)>, String> {
+) -> Result<Result<Arc<QuerySnapshot>, Response>, String> {
     let source: VertexId = req.require("source")?;
     Ok(match ctx.registry.lookup(source) {
         Some(entry) => Ok(entry.load(reader)),
-        None => Err((
+        None => Err(Response::new(
             404,
-            error_body(&format!("no open session for source {source}")).into(),
+            error_body(&format!("no open session for source {source}")),
         )),
     })
 }
 
-/// Routes a request to `(status, body)`. Bodies travel as `Arc<str>` so a
+/// Load-shedding gate for the query endpoints: while the write loop has
+/// had a slide in flight longer than `shed_after`, answer `503
+/// Retry-After` instead of serving a snapshot that lags the stream.
+fn shed_check(ctx: &Ctx) -> Option<Response> {
+    if !ctx.lagging() {
+        return None;
+    }
+    ctx.stats.shed.fetch_add(1, Relaxed);
+    Some(Response {
+        status: 503,
+        body: error_body("write loop is behind; retry shortly").into(),
+        retry_after: Some(1),
+    })
+}
+
+/// Routes a request to a [`Response`]. Bodies travel as `Arc<str>` so a
 /// cache hit is returned without copying the rendered JSON.
 fn route(
     req: &Request,
     ctx: &Ctx,
     reader: &Reader,
     ctl_tx: &mpsc::Sender<Control>,
-) -> Result<(u16, Arc<str>), String> {
+) -> Result<Response, String> {
     match req.path.as_str() {
         "/healthz" => {
             let mut j = JsonBuf::new();
@@ -540,10 +683,13 @@ fn route(
             j.key("ok").bool(true);
             j.key("epoch").uint(ctx.domain.epoch());
             j.end_obj();
-            Ok((200, j.finish().into()))
+            Ok(Response::new(200, j.finish()))
         }
         "/topk" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
+            if let Some(shed) = shed_check(ctx) {
+                return Ok(shed);
+            }
             let k: usize = req.parsed_or("k", 10)?;
             let snap = match snapshot_for(req, ctx, reader)? {
                 Ok(s) => s,
@@ -571,10 +717,13 @@ fn route(
                     j.finish()
                 },
             );
-            Ok((200, body))
+            Ok(Response::new(200, body))
         }
         "/score" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
+            if let Some(shed) = shed_check(ctx) {
+                return Ok(shed);
+            }
             let v: VertexId = req.require("v")?;
             let snap = match snapshot_for(req, ctx, reader)? {
                 Ok(s) => s,
@@ -599,11 +748,16 @@ fn route(
                     j.finish()
                 },
             );
-            Ok((200, body))
+            Ok(Response::new(200, body))
         }
         "/threshold" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
-            let delta: f64 = req.require("delta")?;
+            if let Some(shed) = shed_check(ctx) {
+                return Ok(shed);
+            }
+            // Finite by construction: NaN would make every comparison
+            // false and silently return an empty answer.
+            let delta: f64 = req.require_finite("delta")?;
             let snap = match snapshot_for(req, ctx, reader)? {
                 Ok(s) => s,
                 Err(e) => return Ok(e),
@@ -633,10 +787,13 @@ fn route(
                     j.finish()
                 },
             );
-            Ok((200, body))
+            Ok(Response::new(200, body))
         }
         "/compare" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
+            if let Some(shed) = shed_check(ctx) {
+                return Ok(shed);
+            }
             let a: VertexId = req.require("a")?;
             let b: VertexId = req.require("b")?;
             let snap = match snapshot_for(req, ctx, reader)? {
@@ -665,7 +822,7 @@ fn route(
                     j.finish()
                 },
             );
-            Ok((200, body))
+            Ok(Response::new(200, body))
         }
         "/sessions" => {
             let mut j = JsonBuf::new();
@@ -677,7 +834,7 @@ fn route(
             }
             j.end_arr();
             j.end_obj();
-            Ok((200, j.finish().into()))
+            Ok(Response::new(200, j.finish()))
         }
         "/session/open" | "/session/close" => {
             let source: VertexId = req.require("source")?;
@@ -701,7 +858,7 @@ fn route(
             j.key("accepted").bool(accepted);
             j.key(if open { "opening" } else { "closing" }).uint(source as u64);
             j.end_obj();
-            Ok((200, j.finish().into()))
+            Ok(Response::new(200, j.finish()))
         }
         "/stats" => {
             let cache = ctx.cache.stats();
@@ -714,10 +871,18 @@ fn route(
             j.key("updates_per_sec").num(ctx.stats.updates_per_sec());
             j.key("stream_done").bool(ctx.stats.stream_done.load(Relaxed));
             j.key("queries").uint(ctx.stats.queries.load(Relaxed));
+            j.key("shed").uint(ctx.stats.shed.load(Relaxed));
             j.key("sessions").uint(ctx.registry.len() as u64);
             j.key("sessions_opened").uint(ctx.stats.sessions_opened.load(Relaxed));
             j.key("sessions_closed").uint(ctx.stats.sessions_closed.load(Relaxed));
             j.key("sessions_evicted").uint(ctx.stats.sessions_evicted.load(Relaxed));
+            j.key("http").begin_obj();
+            j.key("connections").uint(ctx.conn.accepted.load(Relaxed));
+            j.key("requests").uint(ctx.conn.requests.load(Relaxed));
+            j.key("bad_requests").uint(ctx.conn.bad_requests.load(Relaxed));
+            j.key("read_timeouts").uint(ctx.conn.read_timeouts.load(Relaxed));
+            j.key("write_timeouts").uint(ctx.conn.write_timeouts.load(Relaxed));
+            j.end_obj();
             j.key("cache").begin_obj();
             j.key("hits").uint(cache.hits);
             j.key("misses").uint(cache.misses);
@@ -725,18 +890,19 @@ fn route(
             j.key("hit_rate").num(cache.hit_rate());
             j.end_obj();
             j.end_obj();
-            Ok((200, j.finish().into()))
+            Ok(Response::new(200, j.finish()))
         }
         "/shutdown" => {
             ctx.shutdown.store(true, SeqCst);
-            // Wake the blocking accept so the acceptor can exit.
+            // Wake the blocking accept so the acceptor can exit; shards
+            // notice the flag within their poll ceiling.
             let _ = TcpStream::connect(ctx.addr);
             let mut j = JsonBuf::new();
             j.begin_obj();
             j.key("shutting_down").bool(true);
             j.end_obj();
-            Ok((200, j.finish().into()))
+            Ok(Response::new(200, j.finish()))
         }
-        other => Ok((404, error_body(&format!("unknown endpoint {other}")).into())),
+        other => Ok(Response::new(404, error_body(&format!("unknown endpoint {other}")))),
     }
 }

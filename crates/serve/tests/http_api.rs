@@ -32,6 +32,118 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String) {
     request(addr, "GET", target)
 }
 
+/// Reads exactly one Content-Length-framed response off a keep-alive
+/// connection, leaving the stream positioned at the next response.
+fn read_response(conn: &mut TcpStream) -> (u16, String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = conn.read(&mut byte).expect("read header byte");
+        assert!(n > 0, "EOF inside response head: {:?}", String::from_utf8_lossy(&head));
+        head.push(byte[0]);
+        assert!(head.len() < 8192, "unterminated response head");
+    }
+    let head = String::from_utf8(head).expect("utf8 head");
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_owned))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    conn.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf8 body"))
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let stream = GraphStream::directed(erdos_renyi(120, 3_000, 9)).permuted(3);
+    let handle = start(
+        stream,
+        0.1,
+        &[0],
+        ServeConfig { threads: 2, batch: 400, epsilon: 1e-3, max_slides: 2, ..ServeConfig::default() },
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Several sequential requests on ONE connection; HTTP/1.1 defaults to
+    // keep-alive, so each response must announce it and leave the stream
+    // open for the next.
+    write!(conn, "GET /healthz HTTP/1.1\r\nHost: dppr\r\n\r\n").unwrap();
+    let (status, head, body) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+
+    write!(conn, "GET /topk?source=0&k=3 HTTP/1.1\r\nHost: dppr\r\n\r\n").unwrap();
+    let (status, _, body) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ranking\""), "{body}");
+
+    // Percent-encoded params decode before routing (%30 → '0', %33 → '3').
+    write!(conn, "GET /topk?source=%30&k=%33 HTTP/1.1\r\nHost: dppr\r\n\r\n").unwrap();
+    let (status, _, body) = read_response(&mut conn);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"k\":3"), "{body}");
+
+    // Non-finite floats in params are rejected, connection still alive
+    // (the HTTP itself was well-formed, so only the request fails).
+    for bad in ["nan", "inf", "-inf", "NaN", "Infinity"] {
+        write!(conn, "GET /threshold?source=0&delta={bad} HTTP/1.1\r\nHost: dppr\r\n\r\n").unwrap();
+        let (status, _, body) = read_response(&mut conn);
+        assert_eq!(status, 400, "delta={bad} must be rejected: {body}");
+        assert!(body.contains("finite"), "{body}");
+    }
+
+    // Pipelining: two requests in one write, two responses in order.
+    write!(
+        conn,
+        "GET /score?source=0&v=1 HTTP/1.1\r\nHost: dppr\r\n\r\nGET /sessions HTTP/1.1\r\nHost: dppr\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _, body) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"vertex\":1"), "{body}");
+    let (status, _, body) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"sessions\":[0]"), "{body}");
+
+    // Explicit Connection: close is honoured: response, then EOF.
+    write!(conn, "GET /healthz HTTP/1.1\r\nHost: dppr\r\nConnection: close\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "bytes after Connection: close response");
+
+    // An invalid percent escape corrupts the request line itself, so the
+    // 400 comes with Connection: close and the stream ends there.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(conn, "GET /topk?source=%zz HTTP/1.1\r\nHost: dppr\r\n\r\n").unwrap();
+    let (status, head, body) = read_response(&mut conn);
+    assert_eq!(status, 400);
+    assert!(body.contains("percent"), "{body}");
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).expect("EOF after malformed request");
+    assert!(rest.is_empty());
+
+    // The whole exchange used exactly two accepted connections, many
+    // requests — the thing HTTP/1.0-per-request could not do.
+    assert_eq!(handle.conn_counters().accepted.load(std::sync::atomic::Ordering::Relaxed), 2);
+    assert!(handle.conn_counters().requests.load(std::sync::atomic::Ordering::Relaxed) >= 11);
+    handle.join();
+}
+
 #[test]
 fn start_rejects_out_of_bound_sources() {
     let stream = GraphStream::directed(erdos_renyi(50, 400, 1)).permuted(1);

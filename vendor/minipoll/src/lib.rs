@@ -1,0 +1,215 @@
+//! Minimal mio-style readiness polling built directly on `poll(2)`.
+//!
+//! The build environment is offline (no mio, no libc crate), but on every
+//! unix target std already links the platform libc, so declaring the one
+//! symbol we need is enough. The API is deliberately stateless — callers
+//! rebuild the descriptor set each iteration, which is both simpler than a
+//! registration-based interface and plenty fast for the connection counts a
+//! single event-loop shard owns (poll(2) is O(nfds) per call either way).
+//!
+//! ```no_run
+//! use minipoll::{poll, PollFd, READABLE};
+//! # let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! # use std::os::fd::AsRawFd;
+//! let mut fds = [PollFd::new(listener.as_raw_fd(), READABLE)];
+//! let n = poll(&mut fds, Some(std::time::Duration::from_millis(100))).unwrap();
+//! if n > 0 && fds[0].readable() {
+//!     // accept without blocking
+//! }
+//! ```
+
+use std::io;
+use std::time::Duration;
+
+/// Interest / readiness bit: the descriptor is readable (or has a pending
+/// connection, for listeners).
+pub const READABLE: u8 = 0b01;
+/// Interest / readiness bit: the descriptor is writable.
+pub const WRITABLE: u8 = 0b10;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_short};
+
+    // Mirrors `struct pollfd` from <poll.h>; identical layout on every
+    // unix libc (fd, events, revents — all fixed-width).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct RawPollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    extern "C" {
+        // nfds_t is `unsigned long` on linux and the BSDs.
+        pub fn poll(fds: *mut RawPollFd, nfds: std::os::raw::c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+/// One descriptor in a poll set: the fd, the caller's interest bits, and
+/// (after [`poll`] returns) the kernel's readiness bits.
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: i32,
+    interest: u8,
+    ready: u8,
+    hup: bool,
+}
+
+impl PollFd {
+    /// A poll entry for `fd` with the given interest bits
+    /// ([`READABLE`] | [`WRITABLE`]).
+    pub fn new(fd: i32, interest: u8) -> PollFd {
+        PollFd { fd, interest, ready: 0, hup: false }
+    }
+
+    /// The wrapped descriptor.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Whether the last [`poll`] reported the descriptor readable.
+    pub fn readable(&self) -> bool {
+        self.ready & READABLE != 0
+    }
+
+    /// Whether the last [`poll`] reported the descriptor writable.
+    pub fn writable(&self) -> bool {
+        self.ready & WRITABLE != 0
+    }
+
+    /// Whether the last [`poll`] reported hangup, error, or an invalid
+    /// descriptor — the connection is dead either way.
+    pub fn hup_or_err(&self) -> bool {
+        self.hup
+    }
+}
+
+/// Blocks until at least one entry is ready, the timeout elapses
+/// (`Ok(0)`), or a signal interrupts the wait (also surfaced as `Ok(0)` —
+/// event loops treat both as "re-check state and poll again"). `None`
+/// means wait forever.
+#[cfg(unix)]
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let mut raw: Vec<sys::RawPollFd> = fds
+        .iter()
+        .map(|p| sys::RawPollFd {
+            fd: p.fd,
+            events: (if p.interest & READABLE != 0 { sys::POLLIN } else { 0 })
+                | (if p.interest & WRITABLE != 0 { sys::POLLOUT } else { 0 }),
+            revents: 0,
+        })
+        .collect();
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        // Round up so a 0 < t < 1ms deadline does not busy-spin.
+        Some(t) => t.as_millis().min(i32::MAX as u128) as i32
+            + if t.subsec_nanos() % 1_000_000 != 0 { 1 } else { 0 },
+    };
+    // SAFETY: `raw` is a valid, exclusively-borrowed array of `nfds`
+    // initialized pollfd structs for the duration of the call.
+    let rc = unsafe { sys::poll(raw.as_mut_ptr(), raw.len() as std::os::raw::c_ulong, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            for p in fds.iter_mut() {
+                p.ready = 0;
+                p.hup = false;
+            }
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    for (p, r) in fds.iter_mut().zip(&raw) {
+        p.ready = (if r.revents & sys::POLLIN != 0 { READABLE } else { 0 })
+            | (if r.revents & sys::POLLOUT != 0 { WRITABLE } else { 0 });
+        p.hup = r.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+    }
+    Ok(rc as usize)
+}
+
+/// Degenerate non-unix fallback: reports every entry ready for its full
+/// interest set after a short sleep, turning the event loop into a
+/// throttled busy-poll. Functionally correct (non-blocking I/O returns
+/// `WouldBlock` where the readiness report was optimistic), just not
+/// efficient — unix targets always use the real `poll(2)` path.
+#[cfg(not(unix))]
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let nap = timeout.unwrap_or(Duration::from_millis(10)).min(Duration::from_millis(10));
+    std::thread::sleep(nap);
+    for p in fds.iter_mut() {
+        p.ready = p.interest;
+        p.hup = false;
+    }
+    Ok(fds.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let mut fds = [PollFd::new(listener.as_raw_fd(), READABLE)];
+        // Nothing pending: times out.
+        let n = poll(&mut fds, Some(Duration::from_millis(1))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].hup_or_err());
+    }
+
+    #[test]
+    fn stream_readability_tracks_data_and_writability_is_immediate() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let mut fds = [PollFd::new(server.as_raw_fd(), READABLE | WRITABLE)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable(), "fresh socket with empty send buffer");
+        assert!(!fds[0].readable(), "no bytes sent yet");
+
+        client.write_all(b"ping").unwrap();
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        drop(client);
+
+        let mut fds = [PollFd::new(server.as_raw_fd(), READABLE)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        // A closed peer surfaces as readable (EOF) and usually POLLHUP.
+        assert!(fds[0].readable() || fds[0].hup_or_err());
+    }
+}
