@@ -1,0 +1,25 @@
+//! Runs the full crash-injection harness as a test: every kill point
+//! and corruption case must recover bit-identically to the uncrashed
+//! baseline. The harness re-execs itself with `DPPR_CRASH` set, so this
+//! is the one place the fault sites' positive paths actually fire.
+
+#[test]
+fn crash_recovery_matrix_passes() {
+    let report = std::env::temp_dir()
+        .join(format!("dppr_crash_harness_{}.json", std::process::id()));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_crash_recovery"))
+        .arg("--out")
+        .arg(&report)
+        .output()
+        .expect("running the crash_recovery harness");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "harness failed (exit {:?})\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status.code()
+    );
+    let json = std::fs::read_to_string(&report).expect("harness wrote its report");
+    assert!(json.contains("\"all_ok\": true"), "report not all-ok:\n{json}");
+    std::fs::remove_file(&report).ok();
+}

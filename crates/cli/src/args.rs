@@ -277,6 +277,18 @@ mod tests {
         assert_eq!(a.get_parsed("num-sources", 4usize).unwrap(), 8);
         assert!(a.flag("undirected"));
         assert!(a.get("sources").is_none());
+
+        // A durable line: WAL + checkpoint tuning.
+        let a = Args::parse([
+            "serve", "--preset", "small-sim", "--data-dir", "/tmp/dppr",
+            "--fsync", "interval:25", "--checkpoint-every", "16",
+            "--segment-kb", "4096",
+        ])
+        .unwrap();
+        assert_eq!(a.get("data-dir"), Some("/tmp/dppr"));
+        assert_eq!(a.get("fsync"), Some("interval:25"));
+        assert_eq!(a.get_parsed("checkpoint-every", 64u64).unwrap(), 16);
+        assert_eq!(a.get_parsed("segment-kb", 8192u64).unwrap(), 4_096);
     }
 
     #[test]

@@ -260,6 +260,31 @@ fn serve_sources(args: &Args, stream: &GraphStream) -> Result<Vec<VertexId>, Cli
 /// the source-picking probe (see `dppr_serve::pick_top_degree_sources`).
 const SERVE_INIT_FRACTION: f64 = 0.1;
 
+/// Parses the durability flags: `--data-dir DIR` switches the WAL +
+/// checkpoint machinery on; `--fsync batch|off|interval:<ms>`,
+/// `--checkpoint-every N`, and `--segment-kb KB` tune it.
+fn serve_durability(args: &Args) -> Result<Option<dppr_serve::DurabilityConfig>, CliError> {
+    let Some(dir) = args.get("data-dir") else {
+        for k in ["fsync", "checkpoint-every", "segment-kb"] {
+            if args.get(k).is_some() {
+                return Err(err(format!("--{k} requires --data-dir")));
+            }
+        }
+        return Ok(None);
+    };
+    let mut cfg = dppr_serve::DurabilityConfig::new(dir);
+    if let Some(raw) = args.get("fsync") {
+        cfg.fsync = dppr_serve::FsyncPolicy::parse(raw).map_err(err)?;
+    }
+    cfg.checkpoint_every_slides = args.get_parsed("checkpoint-every", cfg.checkpoint_every_slides)?;
+    let segment_kb: u64 = args.get_parsed("segment-kb", cfg.segment_bytes / 1024)?;
+    if segment_kb == 0 {
+        return Err(err("--segment-kb must be positive"));
+    }
+    cfg.segment_bytes = segment_kb * 1024;
+    Ok(Some(cfg))
+}
+
 /// `dppr serve` — the concurrent query-serving subsystem: background
 /// window slides + epoch-published snapshots + HTTP front end.
 ///
@@ -292,6 +317,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         ),
         shed_after: std::time::Duration::from_millis(args.get_parsed("shed-after-ms", 1_000u64)?),
         conn_backlog: args.get_parsed("conn-backlog", 256usize)?,
+        durability: serve_durability(args)?,
     };
     let run_secs: u64 = args.get_parsed("run-secs", 0u64)?;
 
@@ -312,10 +338,17 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         .join(",");
     println!("listening\thttp://{}", handle.addr());
     println!("graph\t{name}\nsources\t{sources_csv}");
+    if let Some(r) = handle.recovery() {
+        println!(
+            "recovered\tcheckpoint_epoch={} replayed_batches={} epoch={} window=[{}, {})",
+            r.checkpoint_epoch, r.replayed_batches, r.recovered_epoch, r.window_start, r.window_end
+        );
+    }
     let _ = std::io::stdout().flush();
 
+    dppr_serve::signals::install();
     let started = std::time::Instant::now();
-    while !handle.is_shutdown() {
+    while !handle.is_shutdown() && !dppr_serve::signals::triggered() {
         if run_secs > 0 && started.elapsed().as_secs() >= run_secs {
             break;
         }
@@ -339,6 +372,14 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         report.sessions
     )
     .unwrap();
+    if args.get("data-dir").is_some() {
+        writeln!(
+            out,
+            "durable_epoch\t{}\ncheckpoints\t{}\ndegraded\t{}",
+            report.durable_epoch, report.checkpoints, report.degraded
+        )
+        .unwrap();
+    }
     Ok(out)
 }
 

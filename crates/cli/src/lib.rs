@@ -64,8 +64,14 @@ COMMANDS
              [--seed S]  [--read-timeout-ms MS (10000)]
              [--write-timeout-ms MS (10000)]  [--shed-after-ms MS (1000;
              0 = never shed)]  [--conn-backlog N (256 per shard)]
+             [--data-dir DIR (durable WAL + checkpoints; restart recovers
+             checkpoint + log tail)]  [--fsync batch|off|interval:MS
+             (interval:50)]  [--checkpoint-every N (64 slides)]
+             [--segment-kb KB (8192)]
              Connections are HTTP/1.1 keep-alive, served by poll(2)
              event-loop shards; overload answers 503 + Retry-After.
+             SIGTERM/SIGINT drain connections, flush the WAL, and write
+             a final checkpoint before exiting.
              Endpoints: /topk?source=S&k=K  /score?source=S&v=V
              /threshold?source=S&delta=D  /compare?source=S&a=A&b=B
              /sessions  /session/open?source=S  /session/close?source=S

@@ -41,6 +41,7 @@
 //! the quantity the paper's Algorithms 1–4 compute.
 
 pub mod atomic;
+pub mod checksum;
 pub mod config;
 pub mod counters;
 pub mod engine;
@@ -56,6 +57,7 @@ pub mod state;
 pub mod variants;
 
 pub use atomic::AtomicF64;
+pub use checksum::{crc32, Crc32};
 pub use config::{Phase, PprConfig};
 pub use counters::{CounterSnapshot, Counters};
 pub use engine::{BatchStats, DynamicPprEngine, ParallelEngine, SeqEngine, UpdateMode};

@@ -6,28 +6,59 @@
 //! that: a plain-text, versioned snapshot of `(config, Ps, Rs)` that can
 //! be written after any converged batch and re-attached to a graph later
 //! — useful for restart, for shipping states between the sequential and
-//! parallel engines, and for debugging.
+//! parallel engines, and for the serving layer's crash-recovery
+//! checkpoints (`dppr-serve`'s durability module pairs these files with a
+//! `dppr-wal` update log).
 //!
-//! Format (line-oriented, `f64` round-trips via hex bits for exactness):
+//! Format v2 (line-oriented, `f64` round-trips via hex bits for
+//! exactness; the trailer's CRC32 covers every byte before it, so a torn
+//! or bit-flipped snapshot is detected instead of silently loaded):
 //!
 //! ```text
-//! dppr-state v1
+//! dppr-state v2
 //! source <u32> alpha <hex-bits> epsilon <hex-bits> len <usize>
 //! <p-bits> <r-bits>        (one line per vertex)
+//! crc32 <8-hex-digits>
 //! ```
+//!
+//! v1 is the same without the trailer; [`read_state`] still loads it
+//! (without integrity protection), so snapshots written by older builds
+//! stay usable.
 
+use crate::checksum::{crc32, Crc32};
 use crate::config::PprConfig;
 use crate::state::PprState;
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &str = "dppr-state v1";
+const MAGIC_V1: &str = "dppr-state v1";
+const MAGIC_V2: &str = "dppr-state v2";
 
-/// Writes a snapshot of `state` to `w`.
+/// A writer adapter that feeds everything it forwards through a CRC32
+/// hasher, so the trailer can be computed without buffering the snapshot.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Writes a v2 snapshot of `state` to `w` (header + vertex rows + CRC32
+/// trailer).
 pub fn write_state<W: Write>(state: &PprState, w: W) -> io::Result<()> {
-    let mut w = BufWriter::new(w);
+    let mut w = CrcWriter { inner: BufWriter::new(w), crc: Crc32::new() };
     let cfg = state.config();
-    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "{MAGIC_V2}")?;
     writeln!(
         w,
         "source {} alpha {:016x} epsilon {:016x} len {}",
@@ -44,23 +75,52 @@ pub fn write_state<W: Write>(state: &PprState, w: W) -> io::Result<()> {
             state.r(v).to_bits()
         )?;
     }
-    w.flush()
+    let crc = w.crc.finish();
+    // The trailer itself is outside the checksummed range.
+    writeln!(w.inner, "crc32 {crc:08x}")?;
+    w.inner.flush()
 }
 
-/// Reads a snapshot back. The returned state is bit-identical to the one
-/// written.
-pub fn read_state<R: Read>(r: R) -> io::Result<PprState> {
-    let mut lines = BufReader::new(r).lines();
-    let mut next = |what: &str| -> io::Result<String> {
-        lines
-            .next()
-            .ok_or_else(|| bad(format!("unexpected EOF reading {what}")))?
+/// Reads a snapshot back (v1 or v2). The returned state is bit-identical
+/// to the one written; a v2 snapshot whose bytes do not match its trailer
+/// is rejected as [`io::ErrorKind::InvalidData`].
+pub fn read_state<R: Read>(mut r: R) -> io::Result<PprState> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|_| bad("snapshot is not valid UTF-8".into()))?;
+
+    let magic_end = text.find('\n').ok_or_else(|| bad("unexpected EOF reading header".into()))?;
+    let body = match text[..magic_end].trim() {
+        MAGIC_V1 => &text[magic_end + 1..],
+        MAGIC_V2 => {
+            // Split off the trailer line and verify it covers the rest.
+            let content = text.strip_suffix('\n').unwrap_or(text);
+            let trailer_at = content
+                .rfind('\n')
+                .ok_or_else(|| bad("unexpected EOF reading crc32 trailer".into()))?;
+            let trailer = &content[trailer_at + 1..];
+            let expected = trailer
+                .strip_prefix("crc32 ")
+                .ok_or_else(|| bad(format!("malformed crc32 trailer {trailer:?}")))?;
+            let expected = u32::from_str_radix(expected.trim(), 16)
+                .map_err(|_| bad(format!("malformed crc32 trailer {trailer:?}")))?;
+            let covered = &text.as_bytes()[..trailer_at + 1];
+            let actual = crc32(covered);
+            if actual != expected {
+                return Err(bad(format!(
+                    "snapshot checksum mismatch: stored {expected:08x}, computed {actual:08x}"
+                )));
+            }
+            &text[magic_end + 1..trailer_at + 1]
+        }
+        other => return Err(bad(format!("bad magic {other:?}"))),
     };
-    let magic = next("header")?;
-    if magic.trim() != MAGIC {
-        return Err(bad(format!("bad magic {magic:?}")));
-    }
-    let header = next("config")?;
+
+    let mut lines = body.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("unexpected EOF reading config".into()))?;
     let tokens: Vec<&str> = header.split_whitespace().collect();
     if tokens.len() != 8
         || tokens[0] != "source"
@@ -80,7 +140,9 @@ pub fn read_state<R: Read>(r: R) -> io::Result<PprState> {
     let mut state = PprState::new(PprConfig::new(source, alpha, epsilon));
     state.ensure_len(len);
     for v in 0..len as u32 {
-        let line = next("vertex row")?;
+        let line = lines
+            .next()
+            .ok_or_else(|| bad(format!("unexpected EOF reading vertex row {v} of {len}")))?;
         let mut it = line.split_whitespace();
         let p = f64::from_bits(parse_hex(
             it.next().ok_or_else(|| bad("missing p".into()))?,
@@ -121,6 +183,31 @@ pub fn save_state<P: AsRef<Path>>(state: &PprState, path: P) -> io::Result<()> {
 /// Reads a snapshot from a file.
 pub fn load_state<P: AsRef<Path>>(path: P) -> io::Result<PprState> {
     read_state(std::fs::File::open(path)?)
+}
+
+/// Order-sensitive fingerprint of a state's exact contents: source,
+/// length, and every `(p, r)` bit pattern, mixed position-dependently.
+/// Two states compare equal under this iff they are bit-identical — the
+/// crash-recovery harness uses it to prove a recovered state matches the
+/// never-crashed replay.
+pub fn state_fingerprint(state: &PprState) -> u64 {
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let cfg = state.config();
+    let mut h = mix(cfg.source as u64 ^ ((state.len() as u64) << 32));
+    h ^= mix(cfg.alpha.to_bits()).rotate_left(17);
+    h ^= mix(cfg.epsilon.to_bits()).rotate_left(31);
+    for v in 0..state.len() as u32 {
+        let lane = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = h
+            .wrapping_add(mix(state.p(v).to_bits() ^ lane))
+            .wrapping_add(mix(state.r(v).to_bits() ^ lane.rotate_left(32)).rotate_left(1));
+    }
+    h
 }
 
 fn parse_hex(tok: &str) -> io::Result<u64> {
@@ -167,6 +254,100 @@ mod tests {
         assert_eq!(back.len(), st.len());
         assert_eq!(back.estimates(), st.estimates());
         assert_eq!(back.residuals(), st.residuals());
+        assert_eq!(state_fingerprint(&back), state_fingerprint(&st));
+    }
+
+    #[test]
+    fn v2_has_verified_trailer() {
+        let (_, st) = converged_pair();
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+        assert!(text.starts_with("dppr-state v2\n"));
+        let trailer = text.lines().last().unwrap();
+        assert!(trailer.starts_with("crc32 "), "missing trailer: {trailer:?}");
+        // Any single corrupted byte in the covered range must be caught.
+        let mut torn = buf.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0x20; // flips hex-digit case/value, still UTF-8
+        let err = read_state(&torn[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn v1_without_trailer_still_loads() {
+        let (_, st) = converged_pair();
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        // Rewrite the v2 bytes as their v1 equivalent: swap the magic,
+        // drop the trailer.
+        let text = std::str::from_utf8(&buf).unwrap();
+        let body_end = text.rfind("crc32 ").unwrap();
+        let v1 = format!("{MAGIC_V1}\n{}", &text[MAGIC_V2.len() + 1..body_end]);
+        let back = read_state(v1.as_bytes()).unwrap();
+        assert_eq!(back.estimates(), st.estimates());
+        assert_eq!(back.residuals(), st.residuals());
+        assert_eq!(state_fingerprint(&back), state_fingerprint(&st));
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        // The emptiest state that can exist: a fresh source with no pushes
+        // ever applied (PprState::new always materializes source+1 rows).
+        let st = PprState::new(PprConfig::new(0, 0.3, 1e-3));
+        assert_eq!(st.len(), 1);
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        let back = read_state(&buf[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.config(), st.config());
+        assert_eq!(state_fingerprint(&back), state_fingerprint(&st));
+    }
+
+    #[test]
+    fn truncated_header_is_clean_error() {
+        // Every prefix of a valid snapshot that cuts into the header lines
+        // must fail with InvalidData, never panic.
+        let (_, st) = converged_pair();
+        let mut buf = Vec::new();
+        write_state(&st, &mut buf).unwrap();
+        let second_newline = buf
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap();
+        for cut in [0, 5, MAGIC_V2.len(), MAGIC_V2.len() + 1, second_newline] {
+            let err = read_state(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn len_field_body_mismatch_is_clean_error() {
+        // A header that promises more rows than the body holds (v1, so no
+        // checksum catches it first) must fail on the missing row.
+        let claims_three = format!(
+            "{MAGIC_V1}\nsource 0 alpha {:016x} epsilon {:016x} len 3\n{:016x} {:016x}\n",
+            0.15f64.to_bits(),
+            1e-4f64.to_bits(),
+            0.5f64.to_bits(),
+            0.0f64.to_bits()
+        );
+        let err = read_state(claims_three.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("vertex row"), "{err}");
+        // A row with only one field is caught too.
+        let half_row = format!(
+            "{MAGIC_V1}\nsource 0 alpha {:016x} epsilon {:016x} len 1\n{:016x}\n",
+            0.15f64.to_bits(),
+            1e-4f64.to_bits(),
+            0.5f64.to_bits()
+        );
+        let err = read_state(half_row.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -230,6 +411,7 @@ mod tests {
     fn rejects_corrupt_input() {
         assert!(read_state(&b"nonsense"[..]).is_err());
         assert!(read_state(&b"dppr-state v1\nsource x alpha 0 epsilon 0 len 0\n"[..]).is_err());
+        assert!(read_state(&[0xFF, 0xFE, b'\n'][..]).is_err()); // not UTF-8
         // Truncated vertex rows.
         let (_, st) = converged_pair();
         let mut buf = Vec::new();
@@ -247,5 +429,29 @@ mod tests {
         let back = read_state(&buf[..]).unwrap();
         assert_eq!(back.p(1).to_bits(), f64::MIN_POSITIVE.to_bits());
         assert_eq!(back.r(1).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let mut a = PprState::new(PprConfig::new(0, 0.15, 1e-4));
+        a.ensure_len(3);
+        a.set_p(1, 0.25);
+        let mut same = PprState::new(PprConfig::new(0, 0.15, 1e-4));
+        same.ensure_len(3);
+        same.set_p(1, 0.25);
+        assert_eq!(state_fingerprint(&a), state_fingerprint(&same));
+        // Moving the value to another vertex, changing it, or changing the
+        // config all change the fingerprint.
+        let moved = same.clone_values();
+        moved.set_p(1, 0.0);
+        moved.set_p(2, 0.25);
+        assert_ne!(state_fingerprint(&a), state_fingerprint(&moved));
+        let tweaked = a.clone_values();
+        tweaked.set_r(0, 1e-300);
+        assert_ne!(state_fingerprint(&a), state_fingerprint(&tweaked));
+        let mut other_cfg = PprState::new(PprConfig::new(1, 0.15, 1e-4));
+        other_cfg.ensure_len(3);
+        other_cfg.set_p(1, 0.25);
+        assert_ne!(state_fingerprint(&a), state_fingerprint(&other_cfg));
     }
 }

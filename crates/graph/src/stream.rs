@@ -103,6 +103,26 @@ impl SlidingWindow {
         SlidingWindow { stream, start: 0, end }
     }
 
+    /// Re-creates a window at an explicit `[start, end)` position, for
+    /// recovery: a checkpoint records where the window stood, and the
+    /// stream (being a seeded permutation) is reproducible, so the window
+    /// content is fully determined by its bounds.
+    pub fn resume_at(stream: GraphStream, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= stream.len(), "window [{start}, {end}) out of bounds");
+        SlidingWindow { stream, start, end }
+    }
+
+    /// Window start — the logical stream position of the oldest edge
+    /// still inside the window.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Window end — the logical stream position of the next arrival.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
     /// The updates that build the initial window (insertions only). Engines
     /// apply these as one big batch to bootstrap from the empty graph, which
     /// the local-update invariant supports directly (see `DESIGN.md`).
@@ -294,6 +314,27 @@ mod tests {
         let mut in_window: Vec<_> = w.window_edges().collect();
         in_window.sort_unstable();
         assert_eq!(in_graph, in_window);
+    }
+
+    #[test]
+    fn resume_at_reproduces_window() {
+        let s = stream10().permuted(42);
+        let mut w = SlidingWindow::new(s.clone(), 0.4);
+        w.slide(2).unwrap();
+        w.slide(2).unwrap();
+        let resumed = SlidingWindow::resume_at(s, w.start(), w.end());
+        let a: Vec<_> = w.window_edges().collect();
+        let b: Vec<_> = resumed.window_edges().collect();
+        assert_eq!(a, b);
+        // initial_updates over the resumed window inserts exactly the
+        // window content — the recovery graph-rebuild path.
+        assert_eq!(resumed.initial_updates().len(), resumed.window_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn resume_at_rejects_bad_bounds() {
+        SlidingWindow::resume_at(stream10(), 5, 20);
     }
 
     #[test]

@@ -67,6 +67,19 @@ impl EpochDomain {
         self.epoch.fetch_add(1, SeqCst) + 1
     }
 
+    /// Jumps the epoch counter forward to `epoch` — the recovery path,
+    /// so a restarted server resumes numbering where the crashed one
+    /// left off instead of re-issuing epochs that clients may have seen.
+    /// Only meaningful before any readers are registered.
+    ///
+    /// # Panics
+    /// When `epoch` would move the counter backwards.
+    pub fn resume_at(&self, epoch: u64) {
+        let current = self.epoch.load(SeqCst);
+        assert!(epoch >= current, "cannot rewind epoch {current} to {epoch}");
+        self.epoch.store(epoch, SeqCst);
+    }
+
     /// Claims a pin slot for the calling thread. The slot is released when
     /// the returned [`Reader`] drops.
     ///
@@ -269,6 +282,22 @@ mod tests {
         assert_eq!(held.epoch(), 0);
         assert_eq!(held.estimates(), &[0.7]);
         assert_eq!(cell.load(&reader).epoch(), 5);
+    }
+
+    #[test]
+    fn resume_at_fast_forwards_epoch() {
+        let domain = EpochDomain::new(1);
+        domain.resume_at(17);
+        assert_eq!(domain.epoch(), 17);
+        assert_eq!(domain.advance(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn resume_at_rejects_rewind() {
+        let domain = EpochDomain::new(1);
+        domain.resume_at(5);
+        domain.resume_at(3);
     }
 
     #[test]

@@ -35,26 +35,38 @@
 //!   every batch, acceptor + event-loop shards answering queries
 //!   concurrently (keep-alive clients cost one poll registration, not one
 //!   thread), and query-side shedding while a slide lags the stream.
+//! * [`durability`] — checkpoints + the `dppr-wal` write-ahead log: every
+//!   slide batch is logged before its epoch publishes, a background
+//!   checkpointer snapshots session states, and a restarted instance
+//!   recovers as *newest checkpoint + WAL-tail replay* (torn final
+//!   records are truncated away).
+//! * [`signals`] — SIGTERM/SIGINT → graceful shutdown: drain in-flight
+//!   connections, flush the WAL, write a final checkpoint.
 //!
 //! Start one with [`start`]; drive it with `dppr serve` from the CLI.
 
 pub mod cache;
 pub mod conn;
+pub mod durability;
 pub mod epoch;
 pub mod event;
 pub mod http;
 pub mod json;
 pub mod registry;
 pub mod server;
+pub mod signals;
 pub mod snapshot;
 
 pub use cache::{CacheStats, QueryCache, QueryKind};
 pub use conn::{Close, Conn, Step};
+pub use durability::{DurabilityConfig, RecoveryReport};
+pub use dppr_wal::FsyncPolicy;
 pub use epoch::{EpochDomain, Reader, SnapshotCell};
 pub use event::{ConnCounters, Router, ShardConfig};
 pub use http::{Request, Response};
 pub use registry::{OpenOutcome, SessionEntry, SessionRegistry};
 pub use server::{
-    pick_top_degree_sources, start, ServeConfig, ServeReport, ServerHandle, ServerStats,
+    boot_probe, pick_top_degree_sources, start, BootProbe, ServeConfig, ServeReport,
+    ServerHandle, ServerStats,
 };
 pub use snapshot::QuerySnapshot;

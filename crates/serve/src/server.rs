@@ -27,6 +27,7 @@
 //! responses instead of an unbounded backlog.
 
 use crate::cache::{CacheStats, QueryCache, QueryKind};
+use crate::durability::{self, DurabilityConfig, RecoveryReport};
 use crate::epoch::{EpochDomain, Reader};
 use crate::event::{spawn_shard, ConnCounters, Router, ShardConfig, ShardGate, ShardHandle};
 use crate::http::{render_response, Request, Response};
@@ -34,13 +35,14 @@ use crate::json::{error_body, JsonBuf};
 use crate::registry::{OpenOutcome, SessionRegistry};
 use crate::snapshot::QuerySnapshot;
 use dppr_core::queries::BoundedScore;
-use dppr_core::{MultiSourcePpr, PushVariant};
+use dppr_core::{MultiSourcePpr, PprState, PushVariant};
 use dppr_graph::{GraphStream, VertexId};
 use dppr_stream::StreamDriver;
+use dppr_wal::{Wal, WalOptions, WalRecord};
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
-use std::sync::mpsc::{self, sync_channel, RecvTimeoutError};
+use std::sync::mpsc::{self, sync_channel, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,6 +81,11 @@ pub struct ServeConfig {
     /// Bound on each shard's accept hand-off queue; with every queue
     /// full, new connections are answered `503 Retry-After` and closed.
     pub conn_backlog: usize,
+    /// Durability: `Some` logs every slide batch to a WAL and
+    /// checkpoints session states, so a crashed instance recovers by
+    /// loading the newest checkpoint and replaying the log tail. `None`
+    /// serves purely in memory (the previous behavior).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +104,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             shed_after: Duration::from_secs(1),
             conn_backlog: 256,
+            durability: None,
         }
     }
 }
@@ -128,6 +136,20 @@ pub struct ServerStats {
     /// 0 while the write loop is idle/between slides. The shed check
     /// reads this to see how long the published epoch has been stale.
     pub slide_started_ns: AtomicU64,
+    /// Epoch of the newest durable checkpoint (0 with durability off).
+    pub durable_epoch: AtomicU64,
+    /// Checkpoints written successfully (initial + periodic + final).
+    pub checkpoints: AtomicU64,
+    /// Checkpoint attempts that failed (serving continues; the WAL tail
+    /// keeps growing until one succeeds).
+    pub checkpoint_failures: AtomicU64,
+    /// Records appended to the WAL.
+    pub wal_records: AtomicU64,
+    /// Live WAL segment count (sealed + active).
+    pub wal_segments: AtomicU64,
+    /// True once a WAL append failed: the write loop has stopped sliding
+    /// and the instance serves read-only from the last published epoch.
+    pub degraded: AtomicBool,
 }
 
 impl ServerStats {
@@ -176,6 +198,12 @@ pub struct ServeReport {
     pub sessions: usize,
     /// Whether the update stream had been run dry.
     pub stream_done: bool,
+    /// Whether a WAL failure forced read-only serving.
+    pub degraded: bool,
+    /// Epoch of the newest durable checkpoint (0 with durability off).
+    pub durable_epoch: u64,
+    /// Checkpoints written over the instance lifetime.
+    pub checkpoints: u64,
 }
 
 enum Control {
@@ -201,6 +229,8 @@ struct Ctx {
     /// make `cold_start` allocate `source + 1` slots — a single request
     /// naming vertex 4e9 must not OOM the server).
     vertex_bound: usize,
+    /// Whether this instance runs with a WAL + checkpoints.
+    durability_enabled: bool,
 }
 
 impl Ctx {
@@ -236,6 +266,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     shards: Vec<ShardHandle>,
     writer: Option<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl ServerHandle {
@@ -267,6 +298,12 @@ impl ServerHandle {
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
         self.domain.epoch()
+    }
+
+    /// What recovery did at startup, if this instance resumed from a
+    /// checkpoint (`None` for fresh starts and memory-only instances).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Whether shutdown has been requested (flag or `POST /shutdown`).
@@ -312,6 +349,9 @@ impl ServerHandle {
             cache: self.cache.stats(),
             sessions: self.registry.len(),
             stream_done: self.stats.stream_done.load(Relaxed),
+            degraded: self.stats.degraded.load(Relaxed),
+            durable_epoch: self.stats.durable_epoch.load(Relaxed),
+            checkpoints: self.stats.checkpoints.load(Relaxed),
         }
     }
 }
@@ -368,21 +408,19 @@ pub fn start(
     let shutdown = Arc::new(AtomicBool::new(false));
 
     // --- bootstrap synchronously: sessions are live before we return ----
-    let mut driver = StreamDriver::new(stream, init_fraction);
-    let mut multi = MultiSourcePpr::new(sources, cfg.alpha, cfg.epsilon, PushVariant::OPT);
-    let init = driver.take_initial_batch();
-    let t = Instant::now();
-    let applied = multi.apply_batch(driver.graph_mut(), &init);
-    stats.update_nanos.store(t.elapsed().as_nanos() as u64, Relaxed);
-    stats.updates_offered.store(init.len() as u64, Relaxed);
-    stats.updates_applied.store(applied as u64, Relaxed);
-    let epoch = domain.advance();
-    for i in 0..multi.num_sources() {
-        registry.open(
-            multi.source(i),
-            Arc::new(QuerySnapshot::from_state(multi.state(i), epoch)),
-        );
-    }
+    // Durable instances either recover (checkpoint + WAL-tail replay) or
+    // bootstrap fresh and immediately write the epoch-1 base checkpoint;
+    // memory-only instances keep the original bootstrap path.
+    let Boot { driver, multi, wal, recovery, durable_epoch } = match &cfg.durability {
+        None => {
+            let mut driver = StreamDriver::new(stream, init_fraction);
+            let mut multi =
+                MultiSourcePpr::new(sources, cfg.alpha, cfg.epsilon, PushVariant::OPT);
+            bootstrap_window(&mut driver, &mut multi, &domain, &registry, &stats);
+            Boot { driver, multi, wal: None, recovery: None, durable_epoch: 0 }
+        }
+        Some(dcfg) => durable_boot(stream, init_fraction, sources, &cfg, dcfg, &domain, &registry, &stats)?,
+    };
 
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let addr = listener.local_addr()?;
@@ -400,15 +438,25 @@ pub fn start(
         start: Instant::now(),
         shed_after: cfg.shed_after,
         vertex_bound,
+        durability_enabled: cfg.durability.is_some(),
     });
 
-    // --- write loop ------------------------------------------------------
+    // --- background checkpointer + write loop -----------------------------
+    let dur = match (&cfg.durability, wal) {
+        (Some(dcfg), Some(wal)) => Some(spawn_durable(
+            dcfg.clone(),
+            wal,
+            durable_epoch,
+            Arc::clone(&stats),
+        )?),
+        _ => None,
+    };
     let writer = {
         let ctx = Arc::clone(&ctx);
         let cfg = cfg.clone();
         std::thread::Builder::new()
             .name("dppr-serve-writer".into())
-            .spawn(move || write_loop(driver, multi, ctl_rx, ctx, cfg))?
+            .spawn(move || write_loop(driver, multi, ctl_rx, ctx, cfg, dur))?
     };
 
     // --- event-loop shards ------------------------------------------------
@@ -455,10 +503,14 @@ pub fn start(
                             }
                             // Round-robin, falling through to any shard
                             // with room; every queue full → shed at the
-                            // door with 503.
+                            // door with 503. A shard that adopted the
+                            // connection leaves `pending` empty, which
+                            // ends the probe loop gracefully (no panic
+                            // path here: an acceptor abort would take the
+                            // whole front end down with it).
                             let mut pending = Some(conn);
                             for probe in 0..gates.len() {
-                                let c = pending.take().expect("stream present");
+                                let Some(c) = pending.take() else { break };
                                 match gates[(next + probe) % gates.len()].try_adopt(c) {
                                     Ok(()) => break,
                                     Err(back) => pending = Some(back),
@@ -494,6 +546,305 @@ pub fn start(
         acceptor: Some(acceptor),
         shards,
         writer: Some(writer),
+        recovery,
+    })
+}
+
+/// What bootstrapping produced, durable or not.
+struct Boot {
+    driver: StreamDriver,
+    multi: MultiSourcePpr,
+    wal: Option<Wal>,
+    recovery: Option<RecoveryReport>,
+    /// Epoch of the newest durable checkpoint at startup.
+    durable_epoch: u64,
+}
+
+/// The original in-memory bootstrap: apply the initial window, advance to
+/// epoch 1, open a session per source.
+fn bootstrap_window(
+    driver: &mut StreamDriver,
+    multi: &mut MultiSourcePpr,
+    domain: &EpochDomain,
+    registry: &SessionRegistry,
+    stats: &ServerStats,
+) {
+    let init = driver.take_initial_batch();
+    let t = Instant::now();
+    let applied = multi.apply_batch(driver.graph_mut(), &init);
+    stats.update_nanos.store(t.elapsed().as_nanos() as u64, Relaxed);
+    stats.updates_offered.store(init.len() as u64, Relaxed);
+    stats.updates_applied.store(applied as u64, Relaxed);
+    let epoch = domain.advance();
+    for i in 0..multi.num_sources() {
+        registry.open(
+            multi.source(i),
+            Arc::new(QuerySnapshot::from_state(multi.state(i), epoch)),
+        );
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Durable bootstrap: recover from the newest checkpoint + WAL tail when
+/// one exists, else bootstrap fresh and write the epoch-1 base
+/// checkpoint. Either way the returned WAL is open, repaired, and ready
+/// for the write loop to append to.
+#[allow(clippy::too_many_arguments)]
+fn durable_boot(
+    stream: GraphStream,
+    init_fraction: f64,
+    sources: &[VertexId],
+    cfg: &ServeConfig,
+    dcfg: &DurabilityConfig,
+    domain: &Arc<EpochDomain>,
+    registry: &SessionRegistry,
+    stats: &ServerStats,
+) -> io::Result<Boot> {
+    std::fs::create_dir_all(&dcfg.data_dir)?;
+    let checkpoint = durability::load_latest_checkpoint(&dcfg.data_dir)?;
+    let wal_opts = WalOptions { segment_bytes: dcfg.segment_bytes, fsync: dcfg.fsync };
+    let wdir = durability::wal_dir(&dcfg.data_dir);
+    let (mut wal, tail) = Wal::open(&wdir, wal_opts.clone())?;
+
+    let Some(ck) = checkpoint else {
+        if !tail.is_empty() {
+            // A log with no base checkpoint cannot be replayed (the
+            // states it applies on top of are gone). Start over rather
+            // than appending new epochs after stale ones.
+            eprintln!(
+                "dppr-serve: discarding {} WAL records with no checkpoint to anchor them",
+                tail.len()
+            );
+            drop(wal);
+            std::fs::remove_dir_all(&wdir)?;
+            (wal, _) = Wal::open(&wdir, wal_opts)?;
+        }
+        let mut driver = StreamDriver::new(stream, init_fraction);
+        let mut multi = MultiSourcePpr::new(sources, cfg.alpha, cfg.epsilon, PushVariant::OPT);
+        bootstrap_window(&mut driver, &mut multi, domain, registry, stats);
+        // The base checkpoint: recovery always has somewhere to start, so
+        // the WAL never needs to hold the (large) initial window.
+        let states: Vec<PprState> =
+            (0..multi.num_sources()).map(|i| multi.state(i).clone_values()).collect();
+        let (ws, we) = driver.window_range();
+        durability::write_checkpoint(&dcfg.data_dir, 1, (ws, we), &states)?;
+        wal.append(&WalRecord::Checkpoint { epoch: 1 })?;
+        wal.sync()?;
+        stats.durable_epoch.store(1, Relaxed);
+        stats.checkpoints.fetch_add(1, Relaxed);
+        return Ok(Boot { driver, multi, wal: Some(wal), recovery: None, durable_epoch: 1 });
+    };
+
+    // --- recovery: checkpoint + WAL-tail replay ---------------------------
+    if ck.window_end > stream.len() {
+        return Err(invalid(format!(
+            "checkpoint window [{}, {}) exceeds the stream length {} — wrong graph or seed?",
+            ck.window_start,
+            ck.window_end,
+            stream.len()
+        )));
+    }
+    let checkpoint_epoch = ck.epoch;
+    let (window_start, window_end) = (ck.window_start, ck.window_end);
+    let mut driver = StreamDriver::resume_from(stream, window_start, window_end);
+    let mut multi = if ck.states.is_empty() {
+        MultiSourcePpr::new(&[], cfg.alpha, cfg.epsilon, PushVariant::OPT)
+    } else {
+        MultiSourcePpr::from_states(ck.states, PushVariant::OPT)
+    };
+
+    // Replay only the tail: batches at or below the checkpoint epoch are
+    // the duplicated-tail case (checkpointed but not yet pruned) and are
+    // skipped; an epoch gap means the log lost acknowledged records and
+    // recovery must not fake the missing slides.
+    let mut applied_epoch = checkpoint_epoch;
+    let mut replayed = 0u64;
+    for rec in &tail {
+        let WalRecord::Batch { epoch, window_end: rec_end, updates, .. } = rec else {
+            continue;
+        };
+        if *epoch <= applied_epoch {
+            continue;
+        }
+        if *epoch != applied_epoch + 1 {
+            return Err(invalid(format!(
+                "WAL gap: next batch is epoch {epoch}, expected {}",
+                applied_epoch + 1
+            )));
+        }
+        let (_, cur_end) = driver.window_range();
+        let k = (*rec_end as usize)
+            .checked_sub(cur_end)
+            .filter(|&k| k > 0)
+            .ok_or_else(|| invalid(format!("batch epoch {epoch} rewinds the window")))?;
+        let batch = driver
+            .slide_batch(k)
+            .ok_or_else(|| invalid(format!("stream exhausted replaying epoch {epoch}")))?;
+        if batch != *updates {
+            return Err(invalid(format!(
+                "WAL batch for epoch {epoch} disagrees with the stream — graph or seed changed \
+                 since the log was written"
+            )));
+        }
+        let t = Instant::now();
+        let applied = multi.apply_batch(driver.graph_mut(), &batch);
+        stats.update_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+        stats.updates_offered.fetch_add(batch.len() as u64, Relaxed);
+        stats.updates_applied.fetch_add(applied as u64, Relaxed);
+        applied_epoch = *epoch;
+        replayed += 1;
+    }
+
+    domain.resume_at(applied_epoch);
+    for i in 0..multi.num_sources() {
+        registry.open(
+            multi.source(i),
+            Arc::new(QuerySnapshot::from_state(multi.state(i), applied_epoch)),
+        );
+    }
+    // Re-anchor retention: if the crash hit between the checkpoint rename
+    // and its WAL marker, the marker is missing — append it now so the
+    // covered segments can be pruned.
+    wal.append(&WalRecord::Checkpoint { epoch: checkpoint_epoch })?;
+    wal.sync()?;
+    wal.prune_through(checkpoint_epoch)?;
+    stats.durable_epoch.store(checkpoint_epoch, Relaxed);
+
+    let (ws, we) = driver.window_range();
+    let recovery = RecoveryReport {
+        checkpoint_epoch,
+        replayed_batches: replayed,
+        recovered_epoch: applied_epoch,
+        window_start: ws,
+        window_end: we,
+    };
+    Ok(Boot {
+        driver,
+        multi,
+        wal: Some(wal),
+        recovery: Some(recovery),
+        durable_epoch: checkpoint_epoch,
+    })
+}
+
+/// What [`boot_probe`] observed: the booted epoch and a bit-exact
+/// fingerprint per session state.
+#[derive(Debug, Clone)]
+pub struct BootProbe {
+    /// Recovery outcome (`None` for a fresh durable start).
+    pub recovery: Option<RecoveryReport>,
+    /// The epoch the instance would serve at.
+    pub epoch: u64,
+    /// `(source, state_fingerprint)` per session, in session order.
+    pub fingerprints: Vec<(VertexId, u64)>,
+}
+
+/// Runs the durable bootstrap exactly as [`start`] would — recovery or
+/// fresh start, including WAL torn-tail repair, checkpoint-marker
+/// re-append, and retention — but binds no port and spawns no threads,
+/// so the returned state is frozen at the boot point instead of racing
+/// the write loop. The crash-recovery harness uses this to prove a
+/// recovered instance is bit-identical to a never-crashed replay.
+pub fn boot_probe(
+    stream: GraphStream,
+    init_fraction: f64,
+    sources: &[VertexId],
+    cfg: &ServeConfig,
+) -> io::Result<BootProbe> {
+    let dcfg = cfg.durability.as_ref().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "boot_probe requires cfg.durability")
+    })?;
+    let domain = EpochDomain::new(1);
+    let registry =
+        SessionRegistry::new(Arc::clone(&domain), cfg.session_capacity.max(sources.len()).max(1));
+    let stats = ServerStats::default();
+    let boot =
+        durable_boot(stream, init_fraction, sources, cfg, dcfg, &domain, &registry, &stats)?;
+    let fingerprints = (0..boot.multi.num_sources())
+        .map(|i| {
+            (boot.multi.source(i), dppr_core::persist::state_fingerprint(boot.multi.state(i)))
+        })
+        .collect();
+    Ok(BootProbe { recovery: boot.recovery, epoch: domain.epoch(), fingerprints })
+}
+
+/// A snapshot of everything one checkpoint needs, handed to the
+/// background checkpointer over a bounded channel.
+struct CkptJob {
+    epoch: u64,
+    window: (usize, usize),
+    states: Vec<PprState>,
+}
+
+/// The write loop's durability half: the WAL it owns exclusively, plus
+/// the handles of the background checkpointer.
+struct DurableState {
+    wal: Wal,
+    cfg: DurabilityConfig,
+    /// Epoch of the newest durable checkpoint, published by the
+    /// background checkpointer.
+    durable: Arc<AtomicU64>,
+    /// Newest durable epoch whose `Checkpoint` marker has been appended
+    /// to the WAL (retention runs when this catches up to `durable`).
+    acked: u64,
+    ckpt_tx: Option<SyncSender<CkptJob>>,
+    ckpt_thread: Option<JoinHandle<()>>,
+    /// Set on the first WAL append failure: stop sliding, serve
+    /// read-only.
+    dead: bool,
+}
+
+/// Spawns the background checkpointer and packages the durable state for
+/// the write loop.
+fn spawn_durable(
+    dcfg: DurabilityConfig,
+    wal: Wal,
+    durable_epoch: u64,
+    stats: Arc<ServerStats>,
+) -> io::Result<DurableState> {
+    let durable = Arc::new(AtomicU64::new(durable_epoch));
+    let (ckpt_tx, ckpt_rx) = sync_channel::<CkptJob>(1);
+    let ckpt_thread = {
+        let durable = Arc::clone(&durable);
+        let data_dir = dcfg.data_dir.clone();
+        std::thread::Builder::new()
+            .name("dppr-serve-ckpt".into())
+            .spawn(move || {
+                while let Ok(job) = ckpt_rx.recv() {
+                    match durability::write_checkpoint(
+                        &data_dir,
+                        job.epoch,
+                        job.window,
+                        &job.states,
+                    ) {
+                        Ok(()) => {
+                            let _ = durability::prune_checkpoints(&data_dir, job.epoch);
+                            durable.store(job.epoch, Relaxed);
+                            stats.durable_epoch.store(job.epoch, Relaxed);
+                            stats.checkpoints.fetch_add(1, Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "dppr-serve: checkpoint at epoch {} failed: {e}",
+                                job.epoch
+                            );
+                            stats.checkpoint_failures.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            })?
+    };
+    Ok(DurableState {
+        wal,
+        cfg: dcfg,
+        durable,
+        acked: durable_epoch,
+        ckpt_tx: Some(ckpt_tx),
+        ckpt_thread: Some(ckpt_thread),
+        dead: false,
     })
 }
 
@@ -520,22 +871,32 @@ fn write_loop(
     ctl_rx: mpsc::Receiver<Control>,
     ctx: Arc<Ctx>,
     cfg: ServeConfig,
+    mut dur: Option<DurableState>,
 ) {
     loop {
         if ctx.shutdown.load(SeqCst) {
-            return;
+            break;
         }
         while let Ok(ctl) = ctl_rx.try_recv() {
             handle_control(ctl, &mut driver, &mut multi, &ctx);
         }
-        let capped = cfg.max_slides != 0 && ctx.stats.slides.load(Relaxed) >= cfg.max_slides as u64;
-        if capped || ctx.stats.stream_done.load(Relaxed) {
-            // Nothing left to slide: serve from the frozen epoch, but stay
+        // Retention follows the background checkpointer: once a newer
+        // checkpoint is durable, append its marker and drop the WAL
+        // segments it covers.
+        if let Some(d) = dur.as_mut() {
+            ack_durable(d, &ctx);
+        }
+        let frozen = dur.as_ref().is_some_and(|d| d.dead)
+            || (cfg.max_slides != 0
+                && ctx.stats.slides.load(Relaxed) >= cfg.max_slides as u64);
+        if frozen || ctx.stats.stream_done.load(Relaxed) {
+            // Nothing left to slide (stream dry, slide cap, or WAL
+            // failure → read-only): serve from the frozen epoch, but stay
             // responsive to session control and shutdown.
             match ctl_rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(ctl) => handle_control(ctl, &mut driver, &mut multi, &ctx),
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
             continue;
         }
@@ -543,6 +904,28 @@ fn write_loop(
             ctx.stats.stream_done.store(true, Relaxed);
             continue;
         };
+        // Write-ahead point: the batch must be in the log *before* its
+        // effects can be observed by any query. A failed append degrades
+        // to read-only serving — the slide is abandoned (the window moved,
+        // but the graph, the engine states, and the published epoch all
+        // stay put, which is exactly the state the log describes).
+        if let Some(d) = dur.as_mut() {
+            let (ws, we) = driver.window_range();
+            let rec = WalRecord::Batch {
+                epoch: ctx.domain.epoch() + 1,
+                window_start: ws as u64,
+                window_end: we as u64,
+                updates: batch.clone(),
+            };
+            if let Err(e) = d.wal.append(&rec) {
+                eprintln!("dppr-serve: WAL append failed ({e}); serving read-only from here");
+                d.dead = true;
+                ctx.stats.degraded.store(true, SeqCst);
+                continue;
+            }
+            ctx.stats.wal_records.store(d.wal.stats().appends, Relaxed);
+            ctx.stats.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
+        }
         // Lag marker: queries observe how long this slide has been in
         // flight and shed once it exceeds `shed_after` (the snapshot they
         // would serve is stale by at least that much).
@@ -567,9 +950,102 @@ fn write_loop(
             }
         }
         ctx.stats.slide_started_ns.store(0, Relaxed);
+        if let Some(d) = dur.as_mut() {
+            maybe_checkpoint(d, &ctx, epoch, &driver, &multi);
+        }
         if !cfg.slide_pause.is_zero() {
             std::thread::sleep(cfg.slide_pause);
         }
+    }
+    // Graceful shutdown: stop the background checkpointer, flush the WAL,
+    // and leave a final checkpoint so the next start replays nothing.
+    if let Some(d) = dur.as_mut() {
+        finalize_durable(d, &ctx, &driver, &multi);
+    }
+}
+
+/// Appends the `Checkpoint` marker for any newly durable checkpoint and
+/// prunes the WAL segments it covers.
+fn ack_durable(d: &mut DurableState, ctx: &Ctx) {
+    let e = d.durable.load(Relaxed);
+    if d.dead || e <= d.acked {
+        return;
+    }
+    let result = d
+        .wal
+        .append(&WalRecord::Checkpoint { epoch: e })
+        .and_then(|()| d.wal.sync())
+        .and_then(|()| d.wal.prune_through(e));
+    match result {
+        Ok(_) => {
+            d.acked = e;
+            ctx.stats.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
+        }
+        Err(err) => {
+            eprintln!("dppr-serve: WAL checkpoint marker failed ({err}); serving read-only");
+            d.dead = true;
+            ctx.stats.degraded.store(true, SeqCst);
+        }
+    }
+}
+
+/// Hands a checkpoint job to the background checkpointer every
+/// `checkpoint_every_slides` slides. A full channel means the previous
+/// checkpoint is still being written — skip this round rather than stall
+/// the write loop.
+fn maybe_checkpoint(
+    d: &mut DurableState,
+    ctx: &Ctx,
+    epoch: u64,
+    driver: &StreamDriver,
+    multi: &MultiSourcePpr,
+) {
+    let every = d.cfg.checkpoint_every_slides;
+    if every == 0 || !ctx.stats.slides.load(Relaxed).is_multiple_of(every) {
+        return;
+    }
+    let Some(tx) = d.ckpt_tx.as_ref() else { return };
+    let job = CkptJob {
+        epoch,
+        window: driver.window_range(),
+        states: (0..multi.num_sources()).map(|i| multi.state(i).clone_values()).collect(),
+    };
+    match tx.try_send(job) {
+        Ok(()) | Err(TrySendError::Full(_)) => {}
+        Err(TrySendError::Disconnected(_)) => d.ckpt_tx = None,
+    }
+}
+
+/// Shutdown path: drain the checkpointer, then write the final
+/// checkpoint synchronously (every applied slide becomes part of the
+/// base; the WAL tail for the next start is empty).
+fn finalize_durable(d: &mut DurableState, ctx: &Ctx, driver: &StreamDriver, multi: &MultiSourcePpr) {
+    d.ckpt_tx = None; // close the channel → checkpointer drains and exits
+    if let Some(h) = d.ckpt_thread.take() {
+        let _ = h.join();
+    }
+    let _ = d.wal.sync();
+    if d.dead {
+        return;
+    }
+    let epoch = ctx.domain.epoch();
+    if epoch <= d.durable.load(Relaxed) {
+        return; // nothing applied since the last durable checkpoint
+    }
+    let states: Vec<PprState> =
+        (0..multi.num_sources()).map(|i| multi.state(i).clone_values()).collect();
+    match durability::write_checkpoint(&d.cfg.data_dir, epoch, driver.window_range(), &states) {
+        Ok(()) => {
+            let _ = durability::prune_checkpoints(&d.cfg.data_dir, epoch);
+            ctx.stats.durable_epoch.store(epoch, Relaxed);
+            ctx.stats.checkpoints.fetch_add(1, Relaxed);
+            let _ = d
+                .wal
+                .append(&WalRecord::Checkpoint { epoch })
+                .and_then(|()| d.wal.sync())
+                .and_then(|()| d.wal.prune_through(epoch));
+        }
+        Err(e) => eprintln!("dppr-serve: final checkpoint at epoch {epoch} failed: {e}"),
     }
 }
 
@@ -682,6 +1158,7 @@ fn route(
             j.begin_obj();
             j.key("ok").bool(true);
             j.key("epoch").uint(ctx.domain.epoch());
+            j.key("degraded").bool(ctx.stats.degraded.load(Relaxed));
             j.end_obj();
             Ok(Response::new(200, j.finish()))
         }
@@ -888,6 +1365,16 @@ fn route(
             j.key("misses").uint(cache.misses);
             j.key("evictions").uint(cache.evictions);
             j.key("hit_rate").num(cache.hit_rate());
+            j.end_obj();
+            j.key("durability").begin_obj();
+            j.key("enabled").bool(ctx.durability_enabled);
+            j.key("degraded").bool(ctx.stats.degraded.load(Relaxed));
+            j.key("durable_epoch").uint(ctx.stats.durable_epoch.load(Relaxed));
+            j.key("checkpoints").uint(ctx.stats.checkpoints.load(Relaxed));
+            j.key("checkpoint_failures")
+                .uint(ctx.stats.checkpoint_failures.load(Relaxed));
+            j.key("wal_records").uint(ctx.stats.wal_records.load(Relaxed));
+            j.key("wal_segments").uint(ctx.stats.wal_segments.load(Relaxed));
             j.end_obj();
             j.end_obj();
             Ok(Response::new(200, j.finish()))

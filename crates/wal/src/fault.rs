@@ -1,0 +1,84 @@
+//! Deterministic crash injection for the durability tests.
+//!
+//! A process under test sets `DPPR_CRASH="<site>:<nth>"` in its
+//! environment; the `nth` time execution passes the named site (1-based),
+//! the process dies with [`CRASH_EXIT_CODE`] — after whatever *partial*
+//! work the site deliberately performed first (e.g. half a frame). Bytes
+//! already handed to the kernel survive the exit, exactly as they survive
+//! a real process crash, so recovery sees an honestly torn file. (What
+//! this does **not** simulate is loss of un-fsynced page cache on a
+//! whole-machine power failure; the fsync policy knobs exist for that
+//! threat model but the harness cannot exercise it in-process.)
+//!
+//! Sites are plain strings compiled into the production code path via
+//! [`maybe_crash`] / [`crash_hit`]. With the env var unset the fast path
+//! is a single relaxed atomic load of a cached "disabled" flag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Exit status that marks an injected crash (distinguishes it from real
+/// panics/aborts in the harness).
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// Environment variable holding the crash plan, `"<site>:<nth>"`.
+pub const CRASH_ENV: &str = "DPPR_CRASH";
+
+struct Plan {
+    site: String,
+    nth: u64,
+    hits: AtomicU64,
+}
+
+static PLAN: OnceLock<Option<Plan>> = OnceLock::new();
+
+fn plan() -> Option<&'static Plan> {
+    PLAN.get_or_init(|| {
+        let raw = std::env::var(CRASH_ENV).ok()?;
+        let (site, nth) = raw.rsplit_once(':')?;
+        let nth: u64 = nth.parse().ok().filter(|&n| n > 0)?;
+        Some(Plan { site: site.to_string(), nth, hits: AtomicU64::new(0) })
+    })
+    .as_ref()
+}
+
+/// Returns true exactly once: on the `nth` pass through `site` named by
+/// the crash plan. The caller is expected to do its site-specific partial
+/// damage and then call [`die`]. Returns false (cheaply) in production.
+#[must_use]
+pub fn crash_hit(site: &str) -> bool {
+    let Some(p) = plan() else { return false };
+    if p.site != site {
+        return false;
+    }
+    p.hits.fetch_add(1, Ordering::Relaxed) + 1 == p.nth
+}
+
+/// Kills the process with [`CRASH_EXIT_CODE`] immediately.
+pub fn die(site: &str) -> ! {
+    eprintln!("dppr-wal: injected crash at {site}");
+    std::process::exit(CRASH_EXIT_CODE);
+}
+
+/// Crash here (with no partial damage) if the plan says so.
+pub fn maybe_crash(site: &str) {
+    if crash_hit(site) {
+        die(site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The plan is parsed from the environment once per process; unit tests
+    // here run without DPPR_CRASH set, so every site must be inert. The
+    // positive paths (actual injected deaths) are exercised by the
+    // crash_recovery harness, which re-execs itself with the variable set.
+    #[test]
+    fn inert_without_env() {
+        assert!(!crash_hit("append-done"));
+        maybe_crash("append-done");
+        assert!(!crash_hit("anything:weird"));
+    }
+}

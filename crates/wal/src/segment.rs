@@ -1,0 +1,209 @@
+//! On-disk segment format and the torn-tail-tolerant scanner.
+//!
+//! A segment file is an 8-byte magic (`DPPRWAL1`) followed by frames:
+//!
+//! ```text
+//! [u32 len][u32 crc32(payload)][payload bytes]      (little-endian)
+//! ```
+//!
+//! The scanner walks frames until the first one that is short, oversized,
+//! fails its CRC, or fails to decode, and reports the byte offset of the
+//! valid prefix. Recovery truncates to that offset — a torn final frame
+//! (the only kind of damage a crashed append can produce) costs exactly
+//! the un-acknowledged tail, never earlier records.
+
+use std::fs;
+use std::io::{self, Read};
+use std::path::Path;
+
+use dppr_core::crc32;
+
+use crate::record::WalRecord;
+
+/// First 8 bytes of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"DPPRWAL1";
+
+/// Frame header size: u32 length + u32 CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame payload. Far above anything the write
+/// loop produces; its real job is to stop a corrupted length field from
+/// driving a multi-gigabyte allocation during the scan.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+
+/// Wraps one encoded record payload in a frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() as u64 <= MAX_FRAME_PAYLOAD as u64, "oversized wal payload");
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What a segment scan found.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Every record in the valid prefix, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic + whole valid frames).
+    /// `0` means even the magic is missing or wrong.
+    pub valid_len: u64,
+    /// True iff the file is exactly the valid prefix — no torn tail,
+    /// no corruption, no trailing garbage.
+    pub clean: bool,
+}
+
+/// Scans a segment file, stopping at the first invalid byte.
+///
+/// Never errors on corruption — corruption is a *result* (`clean:
+/// false`), not a failure. I/O errors (file unreadable) still surface.
+pub fn scan(path: &Path) -> io::Result<ScanOutcome> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(scan_bytes(&bytes))
+}
+
+fn scan_bytes(bytes: &[u8]) -> ScanOutcome {
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return ScanOutcome { records: Vec::new(), valid_len: 0, clean: false };
+    }
+    let mut at = SEGMENT_MAGIC.len();
+    let mut records = Vec::new();
+    loop {
+        if at == bytes.len() {
+            return ScanOutcome { records, valid_len: at as u64, clean: true };
+        }
+        let rest = &bytes[at..];
+        if rest.len() < FRAME_HEADER {
+            break; // torn mid-header
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len > MAX_FRAME_PAYLOAD {
+            break; // corrupted length field
+        }
+        let len = len as usize;
+        if rest.len() - FRAME_HEADER < len {
+            break; // torn mid-payload
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32(payload) != stored_crc {
+            break; // bit rot or torn overwrite
+        }
+        match WalRecord::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break, // CRC-clean but structurally invalid
+        }
+        at += FRAME_HEADER + len;
+    }
+    ScanOutcome { records, valid_len: at as u64, clean: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dppr_graph::EdgeUpdate;
+
+    fn rec(epoch: u64) -> WalRecord {
+        WalRecord::Batch {
+            epoch,
+            window_start: epoch,
+            window_end: epoch + 4,
+            updates: vec![EdgeUpdate::insert(epoch as u32, 9)],
+        }
+    }
+
+    fn segment_bytes(records: &[WalRecord]) -> Vec<u8> {
+        let mut out = SEGMENT_MAGIC.to_vec();
+        for r in records {
+            out.extend_from_slice(&frame(&r.encode()));
+        }
+        out
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let recs = vec![rec(1), rec(2), WalRecord::Checkpoint { epoch: 2 }];
+        let bytes = segment_bytes(&recs);
+        let out = scan_bytes(&bytes);
+        assert!(out.clean);
+        assert_eq!(out.valid_len, bytes.len() as u64);
+        assert_eq!(out.records, recs);
+    }
+
+    #[test]
+    fn empty_segment_is_clean() {
+        let out = scan_bytes(SEGMENT_MAGIC);
+        assert!(out.clean);
+        assert_eq!(out.valid_len, 8);
+        assert!(out.records.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_yields_nothing() {
+        let out = scan_bytes(b"NOTAWAL0\x01\x02\x03");
+        assert!(!out.clean);
+        assert_eq!(out.valid_len, 0);
+        let out = scan_bytes(b"DPPR"); // shorter than the magic
+        assert_eq!(out.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let full = segment_bytes(&[rec(1), rec(2)]);
+        let one = segment_bytes(&[rec(1)]);
+        // Cut at every byte inside the second frame.
+        for cut in one.len() + 1..full.len() {
+            let out = scan_bytes(&full[..cut]);
+            assert!(!out.clean, "cut at {cut} should not be clean");
+            assert_eq!(out.valid_len, one.len() as u64, "cut at {cut}");
+            assert_eq!(out.records, vec![rec(1)], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn crc_flip_stops_scan_at_frame_boundary() {
+        let one = segment_bytes(&[rec(1)]);
+        let mut bytes = segment_bytes(&[rec(1), rec(2), rec(3)]);
+        bytes[one.len() + FRAME_HEADER] ^= 0x40; // first payload byte of rec(2)
+        let out = scan_bytes(&bytes);
+        assert!(!out.clean);
+        assert_eq!(out.valid_len, one.len() as u64);
+        assert_eq!(out.records, vec![rec(1)]);
+    }
+
+    #[test]
+    fn insane_length_field_is_corruption_not_alloc() {
+        let mut bytes = segment_bytes(&[rec(1)]);
+        let tail_at = bytes.len();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        let out = scan_bytes(&bytes);
+        assert!(!out.clean);
+        assert_eq!(out.valid_len, tail_at as u64);
+    }
+
+    #[test]
+    fn crc_valid_but_undecodable_frame_is_corruption() {
+        let mut bytes = segment_bytes(&[rec(1)]);
+        let tail_at = bytes.len();
+        bytes.extend_from_slice(&frame(&[99, 1, 2, 3])); // unknown tag, valid CRC
+        let out = scan_bytes(&bytes);
+        assert!(!out.clean);
+        assert_eq!(out.valid_len, tail_at as u64);
+        assert_eq!(out.records, vec![rec(1)]);
+    }
+
+    #[test]
+    fn scan_reads_from_disk() {
+        let dir = std::env::temp_dir().join(format!("dppr-wal-seg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.seg");
+        std::fs::write(&path, segment_bytes(&[rec(5)])).unwrap();
+        let out = scan(&path).unwrap();
+        assert!(out.clean);
+        assert_eq!(out.records, vec![rec(5)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
