@@ -15,14 +15,19 @@
 //!   the behaviour the old blocking front end forced on everyone.
 //!
 //! `--mode keepalive|close|both` picks (default `both`). Reports
-//! queries/sec, p50/p99 latency, cache hit rate, and the update throughput
-//! sustained under load per mode, plus the keep-alive/close p50 ratio, as
-//! JSON (default `BENCH_6.json` at the repo root; `--pr N` / `--out PATH`
-//! relabel it, `--full` scales the run up).
+//! queries/sec, p50/p99 latency, cache hit rate, the update throughput
+//! sustained under load per mode, the keep-alive/close p50 ratio, and the
+//! server's OWN pipeline-stage percentiles (from its `/metrics`
+//! histograms — no client-side measurement skew), as JSON (default
+//! `BENCH_8.json` at the repo root; `--pr N` / `--out PATH` relabel it,
+//! `--full` scales the run up). The final `/metrics` scrape of the first
+//! mode is written next to the JSON as `BENCH_<pr>_METRICS.prom`, and the
+//! run fails if any always-live family scraped empty.
 
 use dppr_bench::ExperimentScale;
 use dppr_graph::generators::{rmat_stream, RmatParams};
 use dppr_graph::GraphStream;
+use dppr_obs::HistSnapshot;
 use dppr_serve::{start, ServeConfig, ServeReport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +84,12 @@ fn gen_target(rng: &mut SmallRng, sources: &[u32], n: usize) -> String {
 
 /// One request per connection: the old front end's cost model.
 fn close_query(addr: SocketAddr, target: &str) -> Result<(), String> {
+    fetch_body(addr, target).map(|_| ())
+}
+
+/// `Connection: close` GET returning the response body — also how the
+/// bench scrapes `/metrics` for the exported `.prom` file.
+fn fetch_body(addr: SocketAddr, target: &str) -> Result<String, String> {
     let mut conn = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     conn.set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| e.to_string())?;
@@ -89,7 +100,10 @@ fn close_query(addr: SocketAddr, target: &str) -> Result<(), String> {
     if !resp.starts_with("HTTP/1.1 200") {
         return Err(format!("non-200 for {target}: {}", resp.lines().next().unwrap_or("")));
     }
-    Ok(())
+    match resp.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(format!("no header/body split for {target}")),
+    }
 }
 
 /// Reads one `Content-Length`-framed response off a persistent (buffered)
@@ -166,6 +180,11 @@ struct ModeResult {
     p99: f64,
     errors: u64,
     report: ServeReport,
+    /// The server's own pipeline-stage histograms, snapshotted after the
+    /// clients drained (name, nanosecond snapshot).
+    timings: Vec<(&'static str, HistSnapshot)>,
+    /// Final `/metrics` scrape, taken while the server was still up.
+    metrics_prom: String,
 }
 
 /// Boots a fresh, identically-configured server and runs the full client
@@ -245,6 +264,15 @@ fn run_mode(mode: Mode, spec: &LoadSpec) -> ModeResult {
     let qps = total as f64 / spec.duration.as_secs_f64();
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
+    // Scrape + snapshot the server's own books while it is still up.
+    let metrics_prom = fetch_body(addr, "/metrics").expect("scrape /metrics");
+    let m = handle.metrics();
+    let timings = vec![
+        ("http_request", m.http_request.snapshot()),
+        ("slide_apply", m.slide_apply.snapshot()),
+        ("push_wall", m.push_wall.snapshot()),
+        ("snapshot_publish", m.snapshot_publish.snapshot()),
+    ];
     let report = handle.join();
     eprintln!(
         "[{}] {total} queries ({qps:.0}/s, p50 {p50:.3} ms, p99 {p99:.3} ms, {errors} errors); \
@@ -257,12 +285,26 @@ fn run_mode(mode: Mode, spec: &LoadSpec) -> ModeResult {
         report.connections,
         report.http_requests,
     );
-    ModeResult { total, qps, p50, p99, errors, report }
+    ModeResult { total, qps, p50, p99, errors, report, timings, metrics_prom }
 }
 
 fn mode_json(r: &ModeResult) -> String {
+    let timings = r
+        .timings
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "\"{name}\": {{ \"count\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"mean_ms\": {:.4} }}",
+                s.count,
+                s.p50() as f64 * 1e-6,
+                s.p99() as f64 * 1e-6,
+                s.mean() * 1e-6,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "{{\n    \"queries\": {{ \"total\": {}, \"per_sec\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"errors\": {} }},\n    \"http\": {{ \"connections\": {}, \"requests\": {}, \"bad_requests\": {}, \"shed\": {} }},\n    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n    \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n    \"epoch\": {}\n  }}",
+        "{{\n    \"queries\": {{ \"total\": {}, \"per_sec\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"errors\": {} }},\n    \"http\": {{ \"connections\": {}, \"requests\": {}, \"bad_requests\": {}, \"shed\": {} }},\n    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n    \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n    \"server_timings\": {{ {timings} }},\n    \"epoch\": {}\n  }}",
         r.total,
         r.qps,
         r.p50,
@@ -294,7 +336,7 @@ fn main() {
             .expect("--pr requires a number")
             .parse()
             .expect("--pr requires a number"),
-        None => 6,
+        None => 8,
     };
     let out_path: PathBuf = match args.iter().position(|a| a == "--out") {
         Some(i) => PathBuf::from(args.get(i + 1).expect("--out requires a path argument")),
@@ -337,7 +379,7 @@ fn main() {
     let n = 1usize << spec.scale; // vertex bound of the generated stream
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"dppr-serve-load/v2\",\n");
+    json.push_str("  \"schema\": \"dppr-serve-load/v3\",\n");
     json.push_str(&format!("  \"pr\": {pr},\n"));
     json.push_str(&format!(
         "  \"scale\": \"{}\",\n",
@@ -374,6 +416,29 @@ fn main() {
         .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
     println!("{json}");
     eprintln!("wrote {}", out_path.display());
+
+    // Export the first mode's final /metrics scrape and gate on the
+    // families that must be live after any loaded run (the WAL families
+    // legitimately stay empty without --data-dir, so they are not gated).
+    let prom = &results[0].1.metrics_prom;
+    let prom_path = out_path.with_file_name(format!("BENCH_{pr}_METRICS.prom"));
+    std::fs::write(&prom_path, prom)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", prom_path.display()));
+    eprintln!("wrote {}", prom_path.display());
+    for family in [
+        "dppr_http_request_seconds_count",
+        "dppr_slide_apply_seconds_count",
+        "dppr_push_wall_seconds_count",
+        "dppr_snapshot_publish_seconds_count",
+        "dppr_http_requests_total",
+        "dppr_slides_total",
+    ] {
+        let live = prom.lines().any(|l| {
+            l.split_once(' ')
+                .is_some_and(|(name, v)| name == family && v.trim().parse::<f64>().unwrap_or(0.0) > 0.0)
+        });
+        assert!(live, "metric family {family} missing or zero in the /metrics scrape:\n{prom}");
+    }
 
     assert!(errors == 0, "{errors} failed queries during the load run");
 }

@@ -247,6 +247,7 @@ mod tests {
             "100", "--slide-pause-ms", "5", "--run-secs", "60", "--seed", "7",
             "--read-timeout-ms", "5000", "--write-timeout-ms", "8000",
             "--shed-after-ms", "250", "--conn-backlog", "128",
+            "--trace-sample", "10", "--trace-capacity", "512",
         ])
         .unwrap();
         assert_eq!(a.command, "serve");
@@ -265,6 +266,8 @@ mod tests {
         assert_eq!(a.get_parsed("write-timeout-ms", 0u64).unwrap(), 8_000);
         assert_eq!(a.get_parsed("shed-after-ms", 0u64).unwrap(), 250);
         assert_eq!(a.get_parsed("conn-backlog", 0usize).unwrap(), 128);
+        assert_eq!(a.get_parsed("trace-sample", 0u64).unwrap(), 10);
+        assert_eq!(a.get_parsed("trace-capacity", 1024usize).unwrap(), 512);
 
         // An ephemeral-port line with top-degree source picking instead of
         // an explicit list.

@@ -318,6 +318,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         shed_after: std::time::Duration::from_millis(args.get_parsed("shed-after-ms", 1_000u64)?),
         conn_backlog: args.get_parsed("conn-backlog", 256usize)?,
         durability: serve_durability(args)?,
+        trace_sample: args.get_parsed("trace-sample", 0u64)?,
+        trace_capacity: args.get_parsed("trace-capacity", 1024usize)?,
     };
     let run_secs: u64 = args.get_parsed("run-secs", 0u64)?;
 
@@ -353,6 +355,15 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // On shutdown (signal, /shutdown, or --run-secs) dump the sampled
+    // trace ring to stderr so the last events survive the process; stdout
+    // stays parseable for scripts.
+    if handle.metrics().trace_requests.enabled() {
+        let dump = handle.trace_dump();
+        if !dump.is_empty() {
+            eprintln!("{dump}");
+        }
     }
     let report = handle.join();
 

@@ -68,14 +68,17 @@ COMMANDS
              checkpoint + log tail)]  [--fsync batch|off|interval:MS
              (interval:50)]  [--checkpoint-every N (64 slides)]
              [--segment-kb KB (8192)]
+             [--trace-sample N (trace every Nth request/slide; 0 = off)]
+             [--trace-capacity N (1024 ring-buffered events)]
              Connections are HTTP/1.1 keep-alive, served by poll(2)
              event-loop shards; overload answers 503 + Retry-After.
-             SIGTERM/SIGINT drain connections, flush the WAL, and write
-             a final checkpoint before exiting.
+             SIGTERM/SIGINT drain connections, flush the WAL, write a
+             final checkpoint, and dump the trace ring to stderr.
              Endpoints: /topk?source=S&k=K  /score?source=S&v=V
              /threshold?source=S&delta=D  /compare?source=S&a=A&b=B
              /sessions  /session/open?source=S  /session/close?source=S
-             /stats  /healthz  /shutdown
+             /stats  /healthz  /metrics (Prometheus text)
+             /trace (sampled JSON lines)  /shutdown
   exact      Ground-truth PPR via Gauss–Jacobi.
              --graph FILE|--preset NAME [--undirected] --source V [--alpha A] [--top K]
   help       This text.

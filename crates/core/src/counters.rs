@@ -182,6 +182,24 @@ impl CounterSnapshot {
             self.frontier_total as f64 / self.iterations as f64
         }
     }
+
+    /// Every quantity by stable name, for telemetry layers that render
+    /// the full set without hand-listing the fields.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("pushes", self.pushes),
+            ("edge_traversals", self.edge_traversals),
+            ("atomic_adds", self.atomic_adds),
+            ("cas_retries", self.cas_retries),
+            ("enqueued", self.enqueued),
+            ("dup_avoided", self.dup_avoided),
+            ("iterations", self.iterations),
+            ("max_frontier", self.max_frontier),
+            ("frontier_total", self.frontier_total),
+            ("restore_ops", self.restore_ops),
+            ("batches", self.batches),
+        ]
+    }
 }
 
 impl Sub for CounterSnapshot {

@@ -106,6 +106,19 @@ pub struct SubstrateStats {
     pub dup_threshold: usize,
 }
 
+impl SubstrateStats {
+    /// Live fraction of the arena: `live_slots / arena_slots` (1.0 for
+    /// an empty arena, so a fresh graph reads as fully utilized rather
+    /// than NaN).
+    pub fn utilization(&self) -> f64 {
+        if self.arena_slots == 0 {
+            1.0
+        } else {
+            self.live_slots as f64 / self.arena_slots as f64
+        }
+    }
+}
+
 /// One adjacency direction: per-vertex spans in a shared flat arena with
 /// amortized-doubling slack.
 #[derive(Debug, Clone, Default)]

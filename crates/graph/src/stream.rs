@@ -139,6 +139,11 @@ impl SlidingWindow {
         self.end - self.start
     }
 
+    /// Total logical edges in the backing stream.
+    pub fn stream_len(&self) -> usize {
+        self.stream.len()
+    }
+
     /// How many more slides of batch size `k` the stream can serve.
     pub fn remaining_slides(&self, k: usize) -> usize {
         if k == 0 {

@@ -1,0 +1,23 @@
+//! dppr-obs: std-only observability primitives for the dppr stack.
+//!
+//! Three pieces, mirroring how the paper instruments its kernels
+//! (per-phase timing rather than end-to-end black boxes):
+//!
+//! - [`hist`]: fixed-bucket log-scale histograms (~×1.2 per bucket)
+//!   with thread-local accumulation, exact merging across shards, and
+//!   p50/p90/p99/p999 extraction at bucket resolution.
+//! - [`registry`]: a named-metric registry (counters, gauges,
+//!   histograms) with Prometheus text-format exposition.
+//! - [`trace`]: every-Nth sampling and a bounded JSON-lines ring for
+//!   end-to-end request/slide traces.
+//!
+//! Nothing here knows about PPR, HTTP, or the WAL — the serving layer
+//! owns metric names and trace schemas; this crate owns the mechanics.
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{bounds, bucket_index, HistSnapshot, Histogram, LocalHistogram};
+pub use registry::{escape_label_value, Counter, Gauge, PromText, Registry, Unit};
+pub use trace::{Sampler, TraceRing};

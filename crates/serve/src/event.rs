@@ -48,6 +48,25 @@ pub trait Router: Send + 'static {
     /// Answer `req`. Infallible at this layer: routing errors are encoded
     /// as 4xx/5xx responses.
     fn route(&mut self, req: &Request) -> Response;
+
+    /// Stage timing for one answered request (parse → route → serialize,
+    /// in nanoseconds), called right after the response is enqueued. The
+    /// default does nothing; the server's router accumulates these into
+    /// thread-local histograms.
+    fn observe_http(
+        &mut self,
+        _req: &Request,
+        _status: u16,
+        _parse_ns: u64,
+        _route_ns: u64,
+        _write_ns: u64,
+    ) {
+    }
+
+    /// Called once per event-loop iteration with this shard's live
+    /// connection count and the depth of its accept queue — the flush
+    /// point for thread-local telemetry.
+    fn on_tick(&mut self, _live_conns: usize, _queue_depth: u64) {}
 }
 
 /// Timeouts and bounds one shard enforces.
@@ -85,6 +104,9 @@ pub struct ConnCounters {
 pub struct ShardGate {
     queue: SyncSender<TcpStream>,
     wake_tx: UnixStream,
+    /// Connections sitting in `queue`, not yet adopted by the shard —
+    /// the queue-depth gauge behind `/stats` and `/metrics`.
+    depth: Arc<AtomicU64>,
 }
 
 impl ShardGate {
@@ -94,6 +116,7 @@ impl ShardGate {
     pub fn try_adopt(&self, conn: TcpStream) -> Result<(), TcpStream> {
         match self.queue.try_send(conn) {
             Ok(()) => {
+                self.depth.fetch_add(1, Relaxed);
                 self.wake();
                 Ok(())
             }
@@ -109,7 +132,11 @@ impl ShardGate {
 
     /// A second gate to the same shard.
     pub fn try_clone(&self) -> io::Result<ShardGate> {
-        Ok(ShardGate { queue: self.queue.clone(), wake_tx: self.wake_tx.try_clone()? })
+        Ok(ShardGate {
+            queue: self.queue.clone(),
+            wake_tx: self.wake_tx.try_clone()?,
+            depth: self.depth.clone(),
+        })
     }
 }
 
@@ -154,6 +181,8 @@ pub fn spawn_shard<R: Router>(
     let (wake_tx, wake_rx) = UnixStream::pair()?;
     wake_rx.set_nonblocking(true)?;
     wake_tx.set_nonblocking(true)?;
+    let depth = Arc::new(AtomicU64::new(0));
+    let loop_depth = depth.clone();
     let join = std::thread::Builder::new().name(name).spawn(move || {
         let mut conns: Vec<Conn> = Vec::new();
         loop {
@@ -192,6 +221,7 @@ pub fn spawn_shard<R: Router>(
                 while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
             }
             while let Ok(stream) = queue_rx.try_recv() {
+                loop_depth.fetch_sub(1, Relaxed);
                 if let Ok(c) = Conn::new(stream, now) {
                     stats.accepted.fetch_add(1, Relaxed);
                     conns.push(c);
@@ -233,10 +263,13 @@ pub fn spawn_shard<R: Router>(
                 conns.swap_remove(ci);
                 stats.closed.fetch_add(1, Relaxed);
             }
+
+            // 6. flush thread-local telemetry once per iteration.
+            router.on_tick(conns.len(), loop_depth.load(Relaxed));
         }
     })?;
     Ok(ShardHandle {
-        gate: ShardGate { queue: queue_tx, wake_tx },
+        gate: ShardGate { queue: queue_tx, wake_tx, depth },
         join: Some(join),
     })
 }
@@ -263,11 +296,22 @@ fn drive<R: Router>(
     // Parse and answer everything buffered (pipelining), independent of
     // which edge woke us — requests may already sit in the buffer.
     loop {
+        let t0 = Instant::now();
         match c.next_request(now) {
             Ok(Some((req, keep_alive))) => {
+                let t1 = Instant::now();
                 stats.requests.fetch_add(1, Relaxed);
                 let resp = router.route(&req);
+                let t2 = Instant::now();
                 c.enqueue(&resp, keep_alive);
+                let t3 = Instant::now();
+                router.observe_http(
+                    &req,
+                    resp.status,
+                    (t1 - t0).as_nanos() as u64,
+                    (t2 - t1).as_nanos() as u64,
+                    (t3 - t2).as_nanos() as u64,
+                );
             }
             Ok(None) => break,
             Err(msg) => {

@@ -226,22 +226,36 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// A routed response: status, JSON body, and an optional `Retry-After`
+/// A routed response: status, body, and an optional `Retry-After`
 /// hint (load shedding).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body (`Arc<str>` so a cache hit is returned without copying).
+    /// Response body (`Arc<str>` so a cache hit is returned without
+    /// copying).
     pub body: std::sync::Arc<str>,
     /// Seconds for a `Retry-After` header (503 load shedding).
     pub retry_after: Option<u32>,
+    /// `Content-Type` override; `None` means `application/json` (the
+    /// default for every endpoint except Prometheus/trace exposition).
+    pub content_type: Option<&'static str>,
 }
 
 impl Response {
-    /// A response with no `Retry-After`.
+    /// A JSON response with no `Retry-After`.
     pub fn new(status: u16, body: impl Into<std::sync::Arc<str>>) -> Response {
-        Response { status, body: body.into(), retry_after: None }
+        Response { status, body: body.into(), retry_after: None, content_type: None }
+    }
+
+    /// A response with an explicit `Content-Type` (e.g. the Prometheus
+    /// text exposition format).
+    pub fn with_content_type(
+        status: u16,
+        content_type: &'static str,
+        body: impl Into<std::sync::Arc<str>>,
+    ) -> Response {
+        Response { status, body: body.into(), retry_after: None, content_type: Some(content_type) }
     }
 }
 
@@ -252,9 +266,10 @@ pub fn render_response(out: &mut Vec<u8>, resp: &Response, keep_alive: bool) {
     use std::io::Write as _;
     let _ = write!(
         out,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         resp.status,
         reason(resp.status),
+        resp.content_type.unwrap_or("application/json"),
         resp.body.len()
     );
     if let Some(secs) = resp.retry_after {
@@ -413,6 +428,7 @@ mod tests {
             status: 503,
             body: r#"{"error":"behind"}"#.into(),
             retry_after: Some(1),
+            content_type: None,
         };
         render_response(&mut out, &resp, false);
         let s = String::from_utf8(out).unwrap();

@@ -52,6 +52,7 @@ pub mod epoch;
 pub mod event;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod signals;
@@ -64,6 +65,7 @@ pub use dppr_wal::FsyncPolicy;
 pub use epoch::{EpochDomain, Reader, SnapshotCell};
 pub use event::{ConnCounters, Router, ShardConfig};
 pub use http::{Request, Response};
+pub use metrics::ServerMetrics;
 pub use registry::{OpenOutcome, SessionEntry, SessionRegistry};
 pub use server::{
     boot_probe, pick_top_degree_sources, start, BootProbe, ServeConfig, ServeReport,

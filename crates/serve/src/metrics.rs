@@ -1,0 +1,129 @@
+//! The serving instance's metric catalog and trace plumbing.
+//!
+//! One [`ServerMetrics`] per instance owns the [`dppr_obs::Registry`]
+//! plus direct handles to every pipeline-stage histogram, so the write
+//! loop and the shard routers record without name lookups. Scrape-time
+//! values that already live elsewhere (`ServerStats`, `ConnCounters`,
+//! cache, engine counters) are rendered ad hoc by the `/metrics`
+//! handler — single source of truth, no double counting.
+//!
+//! Metric families (all prefixed `dppr_`):
+//!
+//! | family | kind | meaning |
+//! |---|---|---|
+//! | `dppr_http_request_seconds` | histogram | per-request parse+route+serialize |
+//! | `dppr_http_parse_seconds` | histogram | request-head parse |
+//! | `dppr_http_route_seconds` | histogram | endpoint dispatch + query execution |
+//! | `dppr_http_write_seconds` | histogram | response render into the socket buffer |
+//! | `dppr_slide_apply_seconds` | histogram | one window slide, WAL append → publish |
+//! | `dppr_push_wall_seconds` | histogram | engine `apply_batch` (push convergence) |
+//! | `dppr_push_iterations` | histogram | frontier iterations per slide |
+//! | `dppr_snapshot_publish_seconds` | histogram | per-session snapshot swap |
+//! | `dppr_wal_append_seconds` | histogram | WAL record append (excl. fsync policy) |
+//! | `dppr_wal_fsync_seconds` | histogram | device flush latency |
+//! | `dppr_checkpoint_seconds` | histogram | checkpoint serialization + rename |
+//! | `dppr_shard_connections{shard=…}` | gauge | live connections per shard |
+//! | `dppr_shard_queue_depth{shard=…}` | gauge | accept hand-off backlog per shard |
+
+use dppr_obs::{Histogram, Registry, Sampler, TraceRing, Unit};
+use std::sync::Arc;
+
+/// Every histogram the pipeline records into, plus the trace ring.
+pub struct ServerMetrics {
+    pub registry: Registry,
+    pub http_request: Arc<Histogram>,
+    pub http_parse: Arc<Histogram>,
+    pub http_route: Arc<Histogram>,
+    pub http_write: Arc<Histogram>,
+    pub slide_apply: Arc<Histogram>,
+    pub push_wall: Arc<Histogram>,
+    pub push_iterations: Arc<Histogram>,
+    pub snapshot_publish: Arc<Histogram>,
+    pub wal_append: Arc<Histogram>,
+    pub wal_fsync: Arc<Histogram>,
+    pub checkpoint: Arc<Histogram>,
+    /// End-to-end structured trace events (`GET /trace`).
+    pub trace: TraceRing,
+    /// Every-Nth request tracing.
+    pub trace_requests: Sampler,
+    /// Every-Nth slide tracing.
+    pub trace_slides: Sampler,
+}
+
+impl ServerMetrics {
+    pub fn new(trace_sample: u64, trace_capacity: usize) -> Self {
+        let registry = Registry::new();
+        let http_request = registry.histogram(
+            "dppr_http_request_seconds",
+            "Request handling end to end: parse, route, serialize",
+            Unit::Nanos,
+        );
+        let http_parse = registry.histogram(
+            "dppr_http_parse_seconds",
+            "Request-head parse time",
+            Unit::Nanos,
+        );
+        let http_route = registry.histogram(
+            "dppr_http_route_seconds",
+            "Endpoint dispatch and query execution time",
+            Unit::Nanos,
+        );
+        let http_write = registry.histogram(
+            "dppr_http_write_seconds",
+            "Response render time into the connection buffer",
+            Unit::Nanos,
+        );
+        let slide_apply = registry.histogram(
+            "dppr_slide_apply_seconds",
+            "One window slide end to end: WAL append, engine apply, snapshot publish",
+            Unit::Nanos,
+        );
+        let push_wall = registry.histogram(
+            "dppr_push_wall_seconds",
+            "Engine apply_batch wall time (push convergence)",
+            Unit::Nanos,
+        );
+        let push_iterations = registry.histogram(
+            "dppr_push_iterations",
+            "Frontier iterations per slide until the push converged",
+            Unit::Raw,
+        );
+        let snapshot_publish = registry.histogram(
+            "dppr_snapshot_publish_seconds",
+            "Per-slide session snapshot publication time",
+            Unit::Nanos,
+        );
+        let wal_append = registry.histogram(
+            "dppr_wal_append_seconds",
+            "WAL record append time (framing + write, excluding fsync policy)",
+            Unit::Nanos,
+        );
+        let wal_fsync = registry.histogram(
+            "dppr_wal_fsync_seconds",
+            "WAL device-flush latency",
+            Unit::Nanos,
+        );
+        let checkpoint = registry.histogram(
+            "dppr_checkpoint_seconds",
+            "Checkpoint write duration (serialize, fsync, rename)",
+            Unit::Nanos,
+        );
+        ServerMetrics {
+            registry,
+            http_request,
+            http_parse,
+            http_route,
+            http_write,
+            slide_apply,
+            push_wall,
+            push_iterations,
+            snapshot_publish,
+            wal_append,
+            wal_fsync,
+            checkpoint,
+            trace: TraceRing::new(trace_capacity),
+            trace_requests: Sampler::new(trace_sample),
+            trace_slides: Sampler::new(trace_sample),
+        }
+    }
+}

@@ -32,20 +32,25 @@ use crate::epoch::{EpochDomain, Reader};
 use crate::event::{spawn_shard, ConnCounters, Router, ShardConfig, ShardGate, ShardHandle};
 use crate::http::{render_response, Request, Response};
 use crate::json::{error_body, JsonBuf};
+use crate::metrics::ServerMetrics;
 use crate::registry::{OpenOutcome, SessionRegistry};
 use crate::snapshot::QuerySnapshot;
 use dppr_core::queries::BoundedScore;
-use dppr_core::{MultiSourcePpr, PprState, PushVariant};
-use dppr_graph::{GraphStream, VertexId};
+use dppr_core::{CounterSnapshot, MultiSourcePpr, PprState, PushVariant};
+use dppr_graph::{GraphStream, SubstrateStats, VertexId};
+use dppr_obs::{Gauge, LocalHistogram, PromText};
 use dppr_stream::StreamDriver;
-use dppr_wal::{Wal, WalOptions, WalRecord};
+use dppr_wal::{Wal, WalOptions, WalRecord, WalStats};
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::mpsc::{self, sync_channel, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// `Content-Type` of the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Tuning for one serving instance.
 #[derive(Debug, Clone)]
@@ -86,6 +91,11 @@ pub struct ServeConfig {
     /// loading the newest checkpoint and replaying the log tail. `None`
     /// serves purely in memory (the previous behavior).
     pub durability: Option<DurabilityConfig>,
+    /// Trace every Nth request and every Nth slide end-to-end into the
+    /// in-memory trace ring (`GET /trace`). 0 disables tracing.
+    pub trace_sample: u64,
+    /// Capacity of the trace ring in events (oldest evicted first).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +115,8 @@ impl Default for ServeConfig {
             shed_after: Duration::from_secs(1),
             conn_backlog: 256,
             durability: None,
+            trace_sample: 0,
+            trace_capacity: 1024,
         }
     }
 }
@@ -150,12 +162,23 @@ pub struct ServerStats {
     /// True once a WAL append failed: the write loop has stopped sliding
     /// and the instance serves read-only from the last published epoch.
     pub degraded: AtomicBool,
+    /// Why the instance degraded to read-only (the WAL error text);
+    /// `None` while healthy. Surfaced by `/healthz`.
+    pub degraded_reason: Mutex<Option<String>>,
+    /// Start-relative nanos (+1) of the last successful WAL fsync; 0 if
+    /// none has completed yet. `/healthz` reports the age.
+    pub last_fsync_ns: AtomicU64,
 }
 
 impl ServerStats {
     /// Sustained update throughput (updates offered per second of engine
-    /// time), the same quantity as `RunSummary::throughput`.
+    /// time), the same quantity as `RunSummary::throughput`. Reports 0
+    /// until the first slide completes — before that the counters hold
+    /// only the bootstrap window, which is warmup, not sustained rate.
     pub fn updates_per_sec(&self) -> f64 {
+        if self.slides.load(Relaxed) == 0 {
+            return 0.0;
+        }
         let secs = self.update_nanos.load(Relaxed) as f64 * 1e-9;
         if secs == 0.0 {
             0.0
@@ -231,6 +254,23 @@ struct Ctx {
     vertex_bound: usize,
     /// Whether this instance runs with a WAL + checkpoints.
     durability_enabled: bool,
+    /// Pipeline histograms, trace ring, and the metric registry.
+    metrics: Arc<ServerMetrics>,
+    /// Per-shard `(connections, queue_depth)` gauges, indexed by shard.
+    shard_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)>,
+    /// Cumulative engine push-work counters, refreshed by the write loop
+    /// after every slide (they never leave the engine otherwise).
+    engine: Mutex<CounterSnapshot>,
+    /// Adjacency-substrate occupancy, refreshed per slide.
+    graph: Mutex<SubstrateStats>,
+    /// WAL counters as of the last append/sync (zeroed with durability
+    /// off).
+    wal: Mutex<WalStats>,
+    /// Current window bounds in logical stream positions.
+    window_start: AtomicU64,
+    window_end: AtomicU64,
+    /// Total logical edges in the stream (constant per instance).
+    stream_len: u64,
 }
 
 impl Ctx {
@@ -267,6 +307,7 @@ pub struct ServerHandle {
     shards: Vec<ShardHandle>,
     writer: Option<JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl ServerHandle {
@@ -293,6 +334,19 @@ impl ServerHandle {
     /// The session registry.
     pub fn registry(&self) -> &SessionRegistry {
         &self.registry
+    }
+
+    /// The instance's metric registry and pipeline histograms (what
+    /// `GET /metrics` renders) — report generators read percentiles
+    /// straight from here.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The buffered trace events as JSON lines (what `GET /trace`
+    /// serves); empty when tracing is off.
+    pub fn trace_dump(&self) -> String {
+        self.metrics.trace.dump()
     }
 
     /// Current epoch.
@@ -427,6 +481,26 @@ pub fn start(
 
     let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
 
+    let metrics = Arc::new(ServerMetrics::new(cfg.trace_sample, cfg.trace_capacity));
+    let shard_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)> = (0..threads)
+        .map(|w| {
+            (
+                metrics.registry.gauge_with_label(
+                    "dppr_shard_connections",
+                    "Live connections owned by the shard",
+                    "shard",
+                    w.to_string(),
+                ),
+                metrics.registry.gauge_with_label(
+                    "dppr_shard_queue_depth",
+                    "Accepted connections awaiting adoption by the shard",
+                    "shard",
+                    w.to_string(),
+                ),
+            )
+        })
+        .collect();
+    let (ws, we) = driver.window_range();
     let ctx = Arc::new(Ctx {
         domain: Arc::clone(&domain),
         registry: Arc::clone(&registry),
@@ -439,6 +513,14 @@ pub fn start(
         shed_after: cfg.shed_after,
         vertex_bound,
         durability_enabled: cfg.durability.is_some(),
+        metrics: Arc::clone(&metrics),
+        shard_gauges,
+        engine: Mutex::new(multi.counters().snapshot()),
+        graph: Mutex::new(driver.graph().substrate_stats()),
+        wal: Mutex::new(WalStats::default()),
+        window_start: AtomicU64::new(ws as u64),
+        window_end: AtomicU64::new(we as u64),
+        stream_len: driver.stream_len() as u64,
     });
 
     // --- background checkpointer + write loop -----------------------------
@@ -448,6 +530,7 @@ pub fn start(
             wal,
             durable_epoch,
             Arc::clone(&stats),
+            Arc::clone(&metrics),
         )?),
         _ => None,
     };
@@ -467,10 +550,18 @@ pub fn start(
     let mut shards = Vec::with_capacity(threads);
     let mut gates: Vec<ShardGate> = Vec::with_capacity(threads);
     for w in 0..threads {
+        let (conn_gauge, depth_gauge) = ctx.shard_gauges[w].clone();
         let router = RouterImpl {
             ctx: Arc::clone(&ctx),
             reader: domain.register_reader(),
             ctl_tx: ctl_tx.clone(),
+            shard: w,
+            conn_gauge,
+            depth_gauge,
+            local_request: LocalHistogram::new(),
+            local_parse: LocalHistogram::new(),
+            local_route: LocalHistogram::new(),
+            local_write: LocalHistogram::new(),
         };
         let (queue_tx, queue_rx) = sync_channel::<TcpStream>(cfg.conn_backlog.max(1));
         let shard = spawn_shard(
@@ -547,6 +638,7 @@ pub fn start(
         shards,
         writer: Some(writer),
         recovery,
+        metrics,
     })
 }
 
@@ -795,6 +887,9 @@ struct DurableState {
     /// Set on the first WAL append failure: stop sliding, serve
     /// read-only.
     dead: bool,
+    /// WAL counters as of the last [`note_wal`]; deltas against the live
+    /// stats yield per-fsync latency.
+    seen: WalStats,
 }
 
 /// Spawns the background checkpointer and packages the durable state for
@@ -804,6 +899,7 @@ fn spawn_durable(
     wal: Wal,
     durable_epoch: u64,
     stats: Arc<ServerStats>,
+    metrics: Arc<ServerMetrics>,
 ) -> io::Result<DurableState> {
     let durable = Arc::new(AtomicU64::new(durable_epoch));
     let (ckpt_tx, ckpt_rx) = sync_channel::<CkptJob>(1);
@@ -814,6 +910,7 @@ fn spawn_durable(
             .name("dppr-serve-ckpt".into())
             .spawn(move || {
                 while let Ok(job) = ckpt_rx.recv() {
+                    let t = Instant::now();
                     match durability::write_checkpoint(
                         &data_dir,
                         job.epoch,
@@ -821,6 +918,7 @@ fn spawn_durable(
                         &job.states,
                     ) {
                         Ok(()) => {
+                            metrics.checkpoint.record(t.elapsed().as_nanos() as u64);
                             let _ = durability::prune_checkpoints(&data_dir, job.epoch);
                             durable.store(job.epoch, Relaxed);
                             stats.durable_epoch.store(job.epoch, Relaxed);
@@ -837,6 +935,7 @@ fn spawn_durable(
                 }
             })?
     };
+    let seen = wal.stats();
     Ok(DurableState {
         wal,
         cfg: dcfg,
@@ -845,7 +944,34 @@ fn spawn_durable(
         ckpt_tx: Some(ckpt_tx),
         ckpt_thread: Some(ckpt_thread),
         dead: false,
+        seen,
     })
+}
+
+/// Publishes fresh WAL counters after appends/syncs: fsync latency from
+/// the `sync_nanos` delta, the last-fsync timestamp for `/healthz`, and
+/// the raw stats for `/stats` and `/metrics`.
+fn note_wal(d: &mut DurableState, ctx: &Ctx) {
+    let s = d.wal.stats();
+    let syncs = s.syncs - d.seen.syncs;
+    if let Some(per_sync) = (s.sync_nanos - d.seen.sync_nanos).checked_div(syncs) {
+        for _ in 0..syncs {
+            ctx.metrics.wal_fsync.record(per_sync);
+        }
+        ctx.stats
+            .last_fsync_ns
+            .store(ctx.start.elapsed().as_nanos() as u64 + 1, Relaxed);
+    }
+    ctx.stats.wal_records.store(s.appends, Relaxed);
+    ctx.stats.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
+    *ctx.wal.lock().unwrap() = s;
+    d.seen = s;
+}
+
+/// Records why the instance degraded to read-only (shown by `/healthz`).
+fn mark_degraded(ctx: &Ctx, reason: String) {
+    ctx.stats.degraded.store(true, SeqCst);
+    *ctx.stats.degraded_reason.lock().unwrap() = Some(reason);
 }
 
 /// Answers an un-adoptable connection with `503 Retry-After: 1`
@@ -858,6 +984,7 @@ fn shed_at_door(conn: TcpStream) {
             status: 503,
             body: error_body("server is at connection capacity").into(),
             retry_after: Some(1),
+            content_type: None,
         },
         false,
     );
@@ -873,6 +1000,9 @@ fn write_loop(
     cfg: ServeConfig,
     mut dur: Option<DurableState>,
 ) {
+    // Baseline for per-slide counter deltas (push convergence metrics);
+    // the boot/recovery work is already in the cumulative snapshot.
+    let mut prev_counters = multi.counters().snapshot();
     loop {
         if ctx.shutdown.load(SeqCst) {
             break;
@@ -909,6 +1039,8 @@ fn write_loop(
         // to read-only serving — the slide is abandoned (the window moved,
         // but the graph, the engine states, and the published epoch all
         // stay put, which is exactly the state the log describes).
+        let slide_t = Instant::now();
+        let mut wal_append_ns = 0u64;
         if let Some(d) = dur.as_mut() {
             let (ws, we) = driver.window_range();
             let rec = WalRecord::Batch {
@@ -917,14 +1049,16 @@ fn write_loop(
                 window_end: we as u64,
                 updates: batch.clone(),
             };
+            let t = Instant::now();
             if let Err(e) = d.wal.append(&rec) {
                 eprintln!("dppr-serve: WAL append failed ({e}); serving read-only from here");
                 d.dead = true;
-                ctx.stats.degraded.store(true, SeqCst);
+                mark_degraded(&ctx, format!("WAL append failed: {e}"));
                 continue;
             }
-            ctx.stats.wal_records.store(d.wal.stats().appends, Relaxed);
-            ctx.stats.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
+            wal_append_ns = t.elapsed().as_nanos() as u64;
+            ctx.metrics.wal_append.record(wal_append_ns);
+            note_wal(d, &ctx);
         }
         // Lag marker: queries observe how long this slide has been in
         // flight and shed once it exceeds `shed_after` (the snapshot they
@@ -934,13 +1068,16 @@ fn write_loop(
             .store(ctx.start.elapsed().as_nanos() as u64 + 1, Relaxed);
         let t = Instant::now();
         let applied = multi.apply_batch(driver.graph_mut(), &batch);
-        ctx.stats.update_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+        let apply_ns = t.elapsed().as_nanos() as u64;
+        ctx.metrics.push_wall.record(apply_ns);
+        ctx.stats.update_nanos.fetch_add(apply_ns, Relaxed);
         ctx.stats.updates_offered.fetch_add(batch.len() as u64, Relaxed);
         ctx.stats.updates_applied.fetch_add(applied as u64, Relaxed);
         ctx.stats.slides.fetch_add(1, Relaxed);
         // Publication point: one epoch per batch, every session swapped to
         // a snapshot of the new converged state.
         let epoch = ctx.domain.advance();
+        let t = Instant::now();
         for i in 0..multi.num_sources() {
             if let Some(entry) = ctx.registry.peek(multi.source(i)) {
                 entry.publish(
@@ -949,7 +1086,41 @@ fn write_loop(
                 );
             }
         }
+        let publish_ns = t.elapsed().as_nanos() as u64;
+        ctx.metrics.snapshot_publish.record(publish_ns);
         ctx.stats.slide_started_ns.store(0, Relaxed);
+        let slide_ns = slide_t.elapsed().as_nanos() as u64;
+        ctx.metrics.slide_apply.record(slide_ns);
+
+        // Refresh the engine/graph/stream views `/stats` and `/metrics`
+        // read (the write loop is the only thread that can see them).
+        let counters = multi.counters().snapshot();
+        let delta = counters - prev_counters;
+        ctx.metrics.push_iterations.record(delta.iterations);
+        prev_counters = counters;
+        *ctx.engine.lock().unwrap() = counters;
+        *ctx.graph.lock().unwrap() = driver.graph().substrate_stats();
+        let (ws, we) = driver.window_range();
+        ctx.window_start.store(ws as u64, Relaxed);
+        ctx.window_end.store(we as u64, Relaxed);
+
+        if ctx.metrics.trace_slides.sample() {
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("event").str("slide");
+            j.key("epoch").uint(epoch);
+            j.key("batch_updates").uint(batch.len() as u64);
+            j.key("applied").uint(applied as u64);
+            j.key("iterations").uint(delta.iterations);
+            j.key("pushes").uint(delta.pushes);
+            j.key("wal_append_ns").uint(wal_append_ns);
+            j.key("apply_ns").uint(apply_ns);
+            j.key("publish_ns").uint(publish_ns);
+            j.key("slide_ns").uint(slide_ns);
+            j.end_obj();
+            ctx.metrics.trace.push(j.finish());
+        }
+
         if let Some(d) = dur.as_mut() {
             maybe_checkpoint(d, &ctx, epoch, &driver, &multi);
         }
@@ -979,12 +1150,12 @@ fn ack_durable(d: &mut DurableState, ctx: &Ctx) {
     match result {
         Ok(_) => {
             d.acked = e;
-            ctx.stats.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
+            note_wal(d, ctx);
         }
         Err(err) => {
             eprintln!("dppr-serve: WAL checkpoint marker failed ({err}); serving read-only");
             d.dead = true;
-            ctx.stats.degraded.store(true, SeqCst);
+            mark_degraded(ctx, format!("WAL checkpoint marker failed: {err}"));
         }
     }
 }
@@ -1034,8 +1205,10 @@ fn finalize_durable(d: &mut DurableState, ctx: &Ctx, driver: &StreamDriver, mult
     }
     let states: Vec<PprState> =
         (0..multi.num_sources()).map(|i| multi.state(i).clone_values()).collect();
+    let t = Instant::now();
     match durability::write_checkpoint(&d.cfg.data_dir, epoch, driver.window_range(), &states) {
         Ok(()) => {
+            ctx.metrics.checkpoint.record(t.elapsed().as_nanos() as u64);
             let _ = durability::prune_checkpoints(&d.cfg.data_dir, epoch);
             ctx.stats.durable_epoch.store(epoch, Relaxed);
             ctx.stats.checkpoints.fetch_add(1, Relaxed);
@@ -1087,12 +1260,21 @@ fn remove_maintained(multi: &mut MultiSourcePpr, source: VertexId) {
 
 // --- request routing ------------------------------------------------------
 
-/// The per-shard router: shared state + this shard's epoch reader and
-/// control-channel handle.
+/// The per-shard router: shared state + this shard's epoch reader,
+/// control-channel handle, and thread-local telemetry accumulators
+/// (flushed to the shared histograms once per event-loop tick, so the
+/// per-request path touches no shared atomics).
 struct RouterImpl {
     ctx: Arc<Ctx>,
     reader: Reader,
     ctl_tx: mpsc::Sender<Control>,
+    shard: usize,
+    conn_gauge: Arc<Gauge>,
+    depth_gauge: Arc<Gauge>,
+    local_request: LocalHistogram,
+    local_parse: LocalHistogram,
+    local_route: LocalHistogram,
+    local_write: LocalHistogram,
 }
 
 impl Router for RouterImpl {
@@ -1101,6 +1283,44 @@ impl Router for RouterImpl {
             Ok(resp) => resp,
             Err(msg) => Response::new(400, error_body(&msg)),
         }
+    }
+
+    fn observe_http(
+        &mut self,
+        req: &Request,
+        status: u16,
+        parse_ns: u64,
+        route_ns: u64,
+        write_ns: u64,
+    ) {
+        self.local_parse.record(parse_ns);
+        self.local_route.record(route_ns);
+        self.local_write.record(write_ns);
+        self.local_request.record(parse_ns + route_ns + write_ns);
+        if self.ctx.metrics.trace_requests.sample() {
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("event").str("request");
+            j.key("shard").uint(self.shard as u64);
+            j.key("path").str(&req.path);
+            j.key("status").uint(status as u64);
+            j.key("epoch").uint(self.ctx.domain.epoch());
+            j.key("parse_ns").uint(parse_ns);
+            j.key("route_ns").uint(route_ns);
+            j.key("write_ns").uint(write_ns);
+            j.end_obj();
+            self.ctx.metrics.trace.push(j.finish());
+        }
+    }
+
+    fn on_tick(&mut self, live_conns: usize, queue_depth: u64) {
+        let m = &self.ctx.metrics;
+        self.local_request.flush(&m.http_request);
+        self.local_parse.flush(&m.http_parse);
+        self.local_route.flush(&m.http_route);
+        self.local_write.flush(&m.http_write);
+        self.conn_gauge.set(live_conns as i64);
+        self.depth_gauge.set(queue_depth as i64);
     }
 }
 
@@ -1141,6 +1361,7 @@ fn shed_check(ctx: &Ctx) -> Option<Response> {
         status: 503,
         body: error_body("write loop is behind; retry shortly").into(),
         retry_after: Some(1),
+        content_type: None,
     })
 }
 
@@ -1159,9 +1380,35 @@ fn route(
             j.key("ok").bool(true);
             j.key("epoch").uint(ctx.domain.epoch());
             j.key("degraded").bool(ctx.stats.degraded.load(Relaxed));
+            // WAL health: why the instance went read-only (null while
+            // healthy) and how stale the newest durable flush is.
+            j.key("degraded_reason");
+            match ctx.stats.degraded_reason.lock().unwrap().as_deref() {
+                Some(reason) => j.str(reason),
+                None => j.null(),
+            };
+            j.key("last_fsync_age_seconds");
+            match ctx.stats.last_fsync_ns.load(Relaxed) {
+                0 => j.null(),
+                marker => {
+                    let age =
+                        (ctx.start.elapsed().as_nanos() as u64).saturating_sub(marker - 1);
+                    j.num(age as f64 / 1e9)
+                }
+            };
             j.end_obj();
             Ok(Response::new(200, j.finish()))
         }
+        "/metrics" => Ok(Response::with_content_type(
+            200,
+            PROMETHEUS_CONTENT_TYPE,
+            render_metrics(ctx),
+        )),
+        "/trace" => Ok(Response::with_content_type(
+            200,
+            "application/x-ndjson",
+            ctx.metrics.trace.dump(),
+        )),
         "/topk" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
             if let Some(shed) = shed_check(ctx) {
@@ -1375,6 +1622,70 @@ fn route(
                 .uint(ctx.stats.checkpoint_failures.load(Relaxed));
             j.key("wal_records").uint(ctx.stats.wal_records.load(Relaxed));
             j.key("wal_segments").uint(ctx.stats.wal_segments.load(Relaxed));
+            let wal = *ctx.wal.lock().unwrap();
+            j.key("wal_syncs").uint(wal.syncs);
+            j.key("wal_bytes").uint(wal.bytes_written);
+            j.key("wal_pruned_segments").uint(wal.pruned_segments);
+            j.end_obj();
+            // Engine push-work counters, cumulative (refreshed per slide).
+            let engine = *ctx.engine.lock().unwrap();
+            j.key("engine").begin_obj();
+            for (name, v) in engine.fields() {
+                j.key(name).uint(v);
+            }
+            j.end_obj();
+            let graph = *ctx.graph.lock().unwrap();
+            j.key("graph").begin_obj();
+            j.key("arena_slots").uint(graph.arena_slots as u64);
+            j.key("live_slots").uint(graph.live_slots as u64);
+            j.key("dead_slots").uint(graph.dead_slots as u64);
+            j.key("hub_vertices").uint(graph.hub_vertices as u64);
+            j.key("utilization").num(graph.utilization());
+            j.end_obj();
+            j.key("stream").begin_obj();
+            let end = ctx.window_end.load(Relaxed);
+            j.key("window_start").uint(ctx.window_start.load(Relaxed));
+            j.key("window_end").uint(end);
+            j.key("stream_len").uint(ctx.stream_len);
+            j.key("fraction_consumed").num(if ctx.stream_len == 0 {
+                1.0
+            } else {
+                end as f64 / ctx.stream_len as f64
+            });
+            j.end_obj();
+            j.key("shards").begin_arr();
+            for (conns, depth) in &ctx.shard_gauges {
+                j.begin_obj();
+                j.key("connections").uint(conns.get().max(0) as u64);
+                j.key("queue_depth").uint(depth.get().max(0) as u64);
+                j.end_obj();
+            }
+            j.end_arr();
+            // Stage-latency summaries out of the same histograms
+            // `/metrics` exposes (seconds at bucket resolution).
+            let m = &ctx.metrics;
+            j.key("timings").begin_obj();
+            for (name, h) in [
+                ("http_request", &m.http_request),
+                ("slide_apply", &m.slide_apply),
+                ("push_wall", &m.push_wall),
+                ("snapshot_publish", &m.snapshot_publish),
+                ("wal_append", &m.wal_append),
+                ("wal_fsync", &m.wal_fsync),
+                ("checkpoint", &m.checkpoint),
+            ] {
+                let s = h.snapshot();
+                j.key(name).begin_obj();
+                j.key("count").uint(s.count);
+                j.key("p50_s").num(s.p50() as f64 / 1e9);
+                j.key("p99_s").num(s.p99() as f64 / 1e9);
+                j.end_obj();
+            }
+            j.end_obj();
+            j.key("trace").begin_obj();
+            j.key("enabled").bool(m.trace_requests.enabled());
+            j.key("buffered").uint(m.trace.len() as u64);
+            j.key("dropped").uint(m.trace.dropped());
             j.end_obj();
             j.end_obj();
             Ok(Response::new(200, j.finish()))
@@ -1392,4 +1703,173 @@ fn route(
         }
         other => Ok(Response::new(404, error_body(&format!("unknown endpoint {other}")))),
     }
+}
+
+/// Renders the full Prometheus exposition: the registered histogram and
+/// gauge families first, then every counter that already lives in
+/// `ServerStats` / `ConnCounters` / the cache / the engine, emitted at
+/// scrape time so nothing is double-counted.
+fn render_metrics(ctx: &Ctx) -> String {
+    let stats = &ctx.stats;
+    let cache = ctx.cache.stats();
+    let mut extra = PromText::new();
+    extra.gauge_f64(
+        "dppr_uptime_seconds",
+        "Seconds since the instance started serving",
+        ctx.start.elapsed().as_secs_f64(),
+    );
+    extra.gauge_u64("dppr_epoch", "Last published epoch", ctx.domain.epoch());
+    extra.counter_u64("dppr_slides_total", "Window slides applied", stats.slides.load(Relaxed));
+    extra.counter_u64(
+        "dppr_updates_offered_total",
+        "Updates handed to the engine (arcs)",
+        stats.updates_offered.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_updates_applied_total",
+        "Updates that changed the graph",
+        stats.updates_applied.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_queries_total",
+        "Query requests answered (any kind, any status)",
+        stats.queries.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_shed_total",
+        "Requests shed 503 under lag or connection pressure",
+        stats.shed.load(Relaxed),
+    );
+    extra.gauge_u64("dppr_sessions", "Open sessions", ctx.registry.len() as u64);
+    extra.counter_u64(
+        "dppr_sessions_opened_total",
+        "Sessions opened over HTTP",
+        stats.sessions_opened.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_sessions_closed_total",
+        "Sessions closed over HTTP",
+        stats.sessions_closed.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_sessions_evicted_total",
+        "Sessions evicted by the LRU budget",
+        stats.sessions_evicted.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_http_connections_total",
+        "Connections adopted by the shards",
+        ctx.conn.accepted.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_http_requests_total",
+        "HTTP requests answered",
+        ctx.conn.requests.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_http_bad_requests_total",
+        "Malformed or oversized requests answered 400",
+        ctx.conn.bad_requests.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_http_read_timeouts_total",
+        "Connections reaped by the read deadline",
+        ctx.conn.read_timeouts.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_http_write_timeouts_total",
+        "Connections reaped by the write deadline",
+        ctx.conn.write_timeouts.load(Relaxed),
+    );
+    extra.counter_u64("dppr_cache_hits_total", "Query-cache hits", cache.hits);
+    extra.counter_u64("dppr_cache_misses_total", "Query-cache misses", cache.misses);
+    extra.counter_u64("dppr_cache_evictions_total", "Query-cache evictions", cache.evictions);
+    extra.gauge_f64(
+        "dppr_cache_hit_rate",
+        "Query-cache hit rate (0 before any lookup)",
+        cache.hit_rate(),
+    );
+    // Engine push-work counters (the paper's operation quantities).
+    let engine = *ctx.engine.lock().unwrap();
+    for (name, v) in engine.fields() {
+        let fam = format!("dppr_engine_{name}_total");
+        extra.counter_u64(&fam, "Cumulative engine push-work counter", v);
+    }
+    let graph = *ctx.graph.lock().unwrap();
+    extra.gauge_u64(
+        "dppr_graph_arena_slots",
+        "Adjacency-arena slots (live + slack + garbage)",
+        graph.arena_slots as u64,
+    );
+    extra.gauge_u64("dppr_graph_live_slots", "Live adjacency slots (2m)", graph.live_slots as u64);
+    extra.gauge_u64(
+        "dppr_graph_dead_slots",
+        "Garbage slots awaiting compaction",
+        graph.dead_slots as u64,
+    );
+    extra.gauge_u64(
+        "dppr_graph_hub_vertices",
+        "Vertices on the hash-membership (hub) path",
+        graph.hub_vertices as u64,
+    );
+    extra.gauge_f64("dppr_graph_utilization", "Live fraction of the arena", graph.utilization());
+    let end = ctx.window_end.load(Relaxed);
+    extra.gauge_u64("dppr_stream_window_start", "Window start (stream position)", ctx.window_start.load(Relaxed));
+    extra.gauge_u64("dppr_stream_window_end", "Window end (stream position)", end);
+    extra.gauge_u64("dppr_stream_len", "Total logical edges in the stream", ctx.stream_len);
+    extra.gauge_f64(
+        "dppr_stream_fraction_consumed",
+        "Share of the stream that has arrived",
+        if ctx.stream_len == 0 { 1.0 } else { end as f64 / ctx.stream_len as f64 },
+    );
+    extra.gauge_u64(
+        "dppr_durability_enabled",
+        "1 when a WAL and checkpoints are configured",
+        ctx.durability_enabled as u64,
+    );
+    extra.gauge_u64(
+        "dppr_degraded",
+        "1 once a WAL failure forced read-only serving",
+        stats.degraded.load(Relaxed) as u64,
+    );
+    extra.gauge_u64(
+        "dppr_durable_epoch",
+        "Epoch of the newest durable checkpoint",
+        stats.durable_epoch.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_checkpoints_total",
+        "Checkpoints written successfully",
+        stats.checkpoints.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_checkpoint_failures_total",
+        "Checkpoint attempts that failed",
+        stats.checkpoint_failures.load(Relaxed),
+    );
+    let wal = *ctx.wal.lock().unwrap();
+    extra.counter_u64("dppr_wal_records_total", "Records appended to the WAL", wal.appends);
+    extra.counter_u64("dppr_wal_syncs_total", "WAL device flushes issued", wal.syncs);
+    extra.counter_u64("dppr_wal_bytes_total", "WAL bytes written (payload + framing)", wal.bytes_written);
+    extra.counter_u64(
+        "dppr_wal_pruned_segments_total",
+        "WAL segments deleted by retention",
+        wal.pruned_segments,
+    );
+    extra.gauge_u64(
+        "dppr_wal_segments",
+        "Live WAL segments (sealed + active)",
+        stats.wal_segments.load(Relaxed),
+    );
+    extra.gauge_u64(
+        "dppr_trace_buffered",
+        "Trace events currently buffered",
+        ctx.metrics.trace.len() as u64,
+    );
+    extra.counter_u64(
+        "dppr_trace_dropped_total",
+        "Trace events evicted from the ring",
+        ctx.metrics.trace.dropped(),
+    );
+    ctx.metrics.registry.render_prometheus(&mut extra)
 }

@@ -89,6 +89,9 @@ pub struct WalStats {
     pub bytes_written: u64,
     /// Segments deleted by retention.
     pub pruned_segments: u64,
+    /// Wall time spent inside device flushes, total. Together with
+    /// `syncs`, lets callers derive per-fsync latency deltas.
+    pub sync_nanos: u64,
 }
 
 struct Segment {
@@ -267,9 +270,11 @@ impl Wal {
     /// appends.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.dirty {
+            let t = Instant::now();
             self.active.sync_data()?;
             self.dirty = false;
             self.stats.syncs += 1;
+            self.stats.sync_nanos += t.elapsed().as_nanos() as u64;
         }
         self.last_sync = Instant::now();
         Ok(())
