@@ -29,7 +29,7 @@
 
 use dppr_core::{persist::state_fingerprint, MultiSourcePpr, PushVariant};
 use dppr_graph::{presets, GraphStream, VertexId};
-use dppr_serve::{boot_probe, BootProbe, DurabilityConfig, ServeConfig};
+use dppr_serve::{boot_probe, boot_probe_shards, shard_of, BootProbe, DurabilityConfig, ServeConfig};
 use dppr_stream::StreamDriver;
 use dppr_wal::{FsyncPolicy, CRASH_ENV, CRASH_EXIT_CODE};
 use std::io::Write as _;
@@ -46,6 +46,11 @@ const ALPHA: f64 = 0.15;
 const EPSILON: f64 = 1e-4;
 const BATCH: usize = 40;
 const SOURCES: [VertexId; 2] = [0, 7];
+/// Sources for the 2-shard case; 11 hashes onto write shard 0 while 0
+/// and 7 land on shard 1, so both shards own sessions and both WALs see
+/// the kill.
+const SHARD_SOURCES: [VertexId; 3] = [0, 7, 11];
+const SHARDS: usize = 2;
 const CKPT_EVERY: u64 = 4;
 // Small segments so rotation happens several times per run.
 const SEGMENT_BYTES: u64 = 3_072;
@@ -75,9 +80,9 @@ fn serve_cfg(data_dir: &Path) -> ServeConfig {
 /// `fps[e - 1]` = the per-source fingerprints at epoch `e`, mirroring the
 /// server exactly: epoch 1 is the bootstrapped initial window, each
 /// further epoch is one `BATCH`-edge slide.
-fn baseline() -> Vec<Vec<(VertexId, u64)>> {
+fn baseline_for(sources: &[VertexId]) -> Vec<Vec<(VertexId, u64)>> {
     let mut driver = StreamDriver::new(the_stream(), INIT_FRACTION);
-    let mut multi = MultiSourcePpr::new(&SOURCES, ALPHA, EPSILON, PushVariant::OPT);
+    let mut multi = MultiSourcePpr::new(sources, ALPHA, EPSILON, PushVariant::OPT);
     let init = driver.take_initial_batch();
     multi.apply_batch(driver.graph_mut(), &init);
     let fp = |m: &MultiSourcePpr| {
@@ -97,14 +102,20 @@ fn baseline() -> Vec<Vec<(VertexId, u64)>> {
 /// down gracefully (exit 0). With `die_after_slides > 0` it instead
 /// hard-exits (code 86, no WAL flush, no final checkpoint) once that
 /// many slides have been applied — the "kill -9 between batches" point.
-/// With `DPPR_CRASH` set, the injected site exits 86 on its own.
-fn run_child(data_dir: &Path, die_after_slides: u64) -> ! {
+/// With `DPPR_CRASH` set, the injected site exits 86 on its own. With
+/// `shards > 1` the instance runs that many independent write loops
+/// (`SHARD_SOURCES`, one WAL directory per shard) and the kill lands
+/// while both are mid-stream.
+fn run_child(data_dir: &Path, die_after_slides: u64, shards: usize) -> ! {
     let mut cfg = serve_cfg(data_dir);
+    cfg.write_shards = shards;
     // Freeze the write loop at the kill point rather than racing it: a
     // fast slide loop must not run the stream dry before the poll below
-    // notices the threshold and hard-exits.
+    // notices the threshold and hard-exits. (`max_slides` is per shard;
+    // the die threshold below counts slides across all shards.)
     cfg.max_slides = die_after_slides as usize;
-    let handle = dppr_serve::start(the_stream(), INIT_FRACTION, &SOURCES, cfg)
+    let sources: &[VertexId] = if shards > 1 { &SHARD_SOURCES } else { &SOURCES };
+    let handle = dppr_serve::start(the_stream(), INIT_FRACTION, sources, cfg)
         .unwrap_or_else(|e| {
             eprintln!("child: start failed: {e}");
             std::process::exit(3);
@@ -413,6 +424,88 @@ fn check_resume_to_completion(base: &[Vec<(VertexId, u64)>], root: &Path) -> Opt
     }
 }
 
+/// Kills a 2-shard server mid-stream and proves every shard recovers
+/// independently: each shard's `(checkpoint + WAL tail)` replays to
+/// fingerprints bit-identical to the uncrashed baseline at that shard's
+/// own recovered epoch — shards crash at different points, and each one
+/// must come back at exactly where *its* log ends.
+fn check_sharded_kill(root: &Path) -> Option<String> {
+    let base = baseline_for(&SHARD_SOURCES);
+    let data_dir = root.join("sharded-kill");
+    let exe = std::env::current_exe().expect("current_exe");
+    let child = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(&data_dir)
+        .arg("--die-after-slides")
+        .arg("12")
+        .arg("--shards")
+        .arg(SHARDS.to_string())
+        .env_remove(CRASH_ENV)
+        .output()
+        .ok()?;
+    if child.status.code() != Some(CRASH_EXIT_CODE) {
+        return Some(format!(
+            "sharded child exited {:?}; stderr: {}",
+            child.status.code(),
+            String::from_utf8_lossy(&child.stderr).trim()
+        ));
+    }
+
+    let mut cfg = serve_cfg(&data_dir);
+    cfg.write_shards = SHARDS;
+    let probes = match boot_probe_shards(the_stream(), INIT_FRACTION, &SHARD_SOURCES, &cfg) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("sharded recovery failed: {e}")),
+    };
+    if probes.len() != SHARDS {
+        return Some(format!("expected {SHARDS} shard probes, got {}", probes.len()));
+    }
+    for (i, probe) in probes.iter().enumerate() {
+        // The probe must cover exactly the sources this shard owns.
+        let owned: Vec<VertexId> =
+            SHARD_SOURCES.iter().copied().filter(|&s| shard_of(s, SHARDS) == i).collect();
+        let got: Vec<VertexId> = probe.fingerprints.iter().map(|&(s, _)| s).collect();
+        if got != owned {
+            return Some(format!("shard {i} recovered sources {got:?}, owns {owned:?}"));
+        }
+        if let Some(r) = &probe.recovery {
+            if r.checkpoint_epoch + r.replayed_batches != r.recovered_epoch {
+                return Some(format!(
+                    "shard {i} replay not tail-only: {} + {} != {}",
+                    r.checkpoint_epoch, r.replayed_batches, r.recovered_epoch
+                ));
+            }
+        }
+        // Bit-identical to the uncrashed replay at this shard's epoch.
+        let Some(want) = probe.epoch.checked_sub(1).and_then(|e| base.get(e as usize)) else {
+            return Some(format!("shard {i} epoch {} outside baseline", probe.epoch));
+        };
+        for &(s, fp) in &probe.fingerprints {
+            let Some(&(_, base_fp)) = want.iter().find(|&&(bs, _)| bs == s) else {
+                return Some(format!("shard {i} source {s} missing from baseline"));
+            };
+            if fp != base_fp {
+                return Some(format!(
+                    "shard {i} source {s} diverged at epoch {}: {fp:x} != {base_fp:x}",
+                    probe.epoch
+                ));
+            }
+        }
+    }
+    // Idempotent: probing again reproduces every shard exactly.
+    match boot_probe_shards(the_stream(), INIT_FRACTION, &SHARD_SOURCES, &cfg) {
+        Ok(again) => {
+            for (i, (a, b)) in again.iter().zip(&probes).enumerate() {
+                if a.epoch != b.epoch || a.fingerprints != b.fingerprints {
+                    return Some(format!("shard {i}: second recovery disagreed with the first"));
+                }
+            }
+            None
+        }
+        Err(e) => Some(format!("second sharded recovery failed: {e}")),
+    }
+}
+
 // ---- entry point ------------------------------------------------------
 
 fn main() {
@@ -424,7 +517,12 @@ fn main() {
             .position(|a| a == "--die-after-slides")
             .and_then(|j| args.get(j + 1))
             .map_or(0, |v| v.parse().expect("--die-after-slides <n>"));
-        run_child(&data_dir, die);
+        let shards = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|j| args.get(j + 1))
+            .map_or(1, |v| v.parse().expect("--shards <n>"));
+        run_child(&data_dir, die, shards);
     }
     let out_path = args
         .iter()
@@ -434,7 +532,7 @@ fn main() {
 
     let root = std::env::temp_dir().join(format!("dppr_crash_{}", std::process::id()));
     std::fs::create_dir_all(&root).expect("creating scratch dir");
-    let base = baseline();
+    let base = baseline_for(&SOURCES);
     println!("baseline\tepochs={}\tsources={:?}", base.len(), SOURCES);
     println!("case\tchild_exit\trecovery_ms\tcheckpoint_epoch\treplayed\trecovered_epoch\tok");
 
@@ -458,6 +556,11 @@ fn main() {
         "resume-to-completion\t-\t-\t-\t-\t-\t{}",
         resume_err.as_deref().unwrap_or("ok")
     );
+    let sharded_err = check_sharded_kill(&root);
+    println!(
+        "sharded-kill-{SHARDS}\t-\t-\t-\t-\t-\t{}",
+        sharded_err.as_deref().unwrap_or("ok")
+    );
 
     // BENCH_7_RECOVERY.json — recovery-time numbers for the CI artifact.
     let mut json = String::from("{\n  \"cases\": [\n");
@@ -480,11 +583,12 @@ fn main() {
     let mean_ms = outcomes.iter().map(|o| o.recovery_ms).sum::<f64>() / outcomes.len() as f64;
     json.push_str(&format!(
         "  ],\n  \"baseline_epochs\": {},\n  \"mean_recovery_ms\": {:.3},\n  \
-         \"resume_to_completion_ok\": {},\n  \"all_ok\": {}\n}}\n",
+         \"resume_to_completion_ok\": {},\n  \"sharded_kill_ok\": {},\n  \"all_ok\": {}\n}}\n",
         base.len(),
         mean_ms,
         resume_err.is_none(),
-        failures.is_empty() && resume_err.is_none()
+        sharded_err.is_none(),
+        failures.is_empty() && resume_err.is_none() && sharded_err.is_none()
     ));
     std::fs::write(&out_path, json).expect("writing report JSON");
     println!("report\t{out_path}");
@@ -496,8 +600,14 @@ fn main() {
     if let Some(e) = &resume_err {
         eprintln!("FAIL resume-to-completion: {e}");
     }
-    if !failures.is_empty() || resume_err.is_some() {
+    if let Some(e) = &sharded_err {
+        eprintln!("FAIL sharded-kill-{SHARDS}: {e}");
+    }
+    if !failures.is_empty() || resume_err.is_some() || sharded_err.is_some() {
         std::process::exit(1);
     }
-    println!("crash_recovery: {} cases + resume-to-completion all ok", outcomes.len());
+    println!(
+        "crash_recovery: {} cases + resume-to-completion + sharded-kill-{SHARDS} all ok",
+        outcomes.len()
+    );
 }

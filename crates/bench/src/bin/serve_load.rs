@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 
 const MIX: &str = "topk 0.4, score 0.4, threshold 0.1, compare 0.1";
 
+#[derive(Clone)]
 struct LoadSpec {
     clients: usize,
     duration: Duration,
@@ -46,6 +47,7 @@ struct LoadSpec {
     sessions: usize,
     threads: usize,
     batch: usize,
+    write_shards: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -209,15 +211,17 @@ fn run_mode(mode: Mode, spec: &LoadSpec) -> ModeResult {
             // `updates_per_sec` is normalized to engine time, so pacing
             // does not distort the update-throughput comparison.
             slide_pause: Duration::from_millis(2),
+            write_shards: spec.write_shards,
             ..ServeConfig::default()
         },
     )
     .expect("server start");
     let addr = handle.addr();
     eprintln!(
-        "[{}] serving {} sessions over n={n} at {addr}; {} clients for {:?}",
+        "[{}] serving {} sessions over n={n} at {addr} ({} write shards); {} clients for {:?}",
         mode.name(),
         sources.len(),
+        spec.write_shards,
         spec.clients,
         spec.duration
     );
@@ -304,7 +308,8 @@ fn mode_json(r: &ModeResult) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\n    \"queries\": {{ \"total\": {}, \"per_sec\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"errors\": {} }},\n    \"http\": {{ \"connections\": {}, \"requests\": {}, \"bad_requests\": {}, \"shed\": {} }},\n    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n    \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n    \"server_timings\": {{ {timings} }},\n    \"epoch\": {}\n  }}",
+        "{{\n    \"write_shards\": {},\n    \"queries\": {{ \"total\": {}, \"per_sec\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"errors\": {} }},\n    \"http\": {{ \"connections\": {}, \"requests\": {}, \"bad_requests\": {}, \"shed\": {} }},\n    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }},\n    \"updates_under_load\": {{ \"slides\": {}, \"offered\": {}, \"applied\": {}, \"updates_per_sec\": {:.0}, \"stream_done\": {} }},\n    \"server_timings\": {{ {timings} }},\n    \"epoch\": {}\n  }}",
+        r.report.write_shards,
         r.total,
         r.qps,
         r.p50,
@@ -325,6 +330,110 @@ fn mode_json(r: &ModeResult) -> String {
         r.report.stream_done,
         r.report.epoch,
     )
+}
+
+/// `--write-shards-sweep 1,4`: one fresh keep-alive-mode run per shard
+/// count over the identical stream and client fleet, comparing the
+/// update throughput each configuration sustains. `updates_per_sec` is
+/// normalized to engine time, so on small CI boxes the sweep measures
+/// the real effect — each shard pushes only its own sessions' PPR mass
+/// per slide — rather than core count. The `.prom` export is the
+/// *largest* configuration's scrape, so the per-shard labelled families
+/// are present for the CI grep gate.
+fn run_shard_sweep(
+    counts: &[usize],
+    base_spec: &LoadSpec,
+    pr: u32,
+    out_path: &std::path::Path,
+    scale: ExperimentScale,
+) {
+    assert!(!counts.is_empty(), "--write-shards-sweep requires at least one count");
+    let results: Vec<(usize, ModeResult)> = counts
+        .iter()
+        .map(|&w| {
+            let mut spec = base_spec.clone();
+            spec.write_shards = w.max(1);
+            (w.max(1), run_mode(Mode::KeepAlive, &spec))
+        })
+        .collect();
+
+    let n = 1usize << base_spec.scale;
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dppr-serve-load-shards/v1\",\n");
+    json.push_str(&format!("  \"pr\": {pr},\n"));
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Full => "full",
+        }
+    ));
+    json.push_str(&format!(
+        "  \"server\": {{ \"stream\": \"rmat_stream(scale={}, m={}, seed=0xBEEF)\", \"vertices\": {n}, \"sessions\": {}, \"threads\": {}, \"batch\": {}, \"epsilon\": 1e-4, \"cache_capacity\": 4096 }},\n",
+        base_spec.scale, base_spec.edges, base_spec.sessions, base_spec.threads, base_spec.batch
+    ));
+    json.push_str(&format!(
+        "  \"load\": {{ \"clients\": {}, \"duration_secs\": {}, \"mix\": \"{MIX}\", \"mode\": \"keepalive\" }},\n",
+        base_spec.clients,
+        base_spec.duration.as_secs()
+    ));
+    for (w, r) in &results {
+        json.push_str(&format!("  \"shards_{w}\": {},\n", mode_json(r)));
+    }
+    let one = results.iter().find(|(w, _)| *w == 1);
+    let most = results.iter().max_by_key(|(w, _)| *w);
+    if let (Some((_, r1)), Some((w, rw))) = (one, most) {
+        if *w > 1 {
+            let ratio = if r1.report.updates_per_sec > 0.0 {
+                rw.report.updates_per_sec / r1.report.updates_per_sec
+            } else {
+                0.0
+            };
+            json.push_str(&format!(
+                "  \"comparison\": {{ \"update_throughput_{w}shard_vs_1shard\": {ratio:.2}, \
+                 \"updates_per_sec_1shard\": {:.0}, \"updates_per_sec_{w}shard\": {:.0}, \
+                 \"logical_updates_offered_1shard\": {}, \"logical_updates_offered_{w}shard\": {}, \
+                 \"query_p50_ms_1shard\": {:.3}, \"query_p99_ms_1shard\": {:.3} }},\n",
+                r1.report.updates_per_sec,
+                rw.report.updates_per_sec,
+                r1.report.updates_offered,
+                rw.report.updates_offered / *w as u64,
+                r1.p50,
+                r1.p99,
+            ));
+        }
+    }
+    let errors: u64 = results.iter().map(|(_, r)| r.errors).sum();
+    json.push_str(&format!("  \"errors\": {errors}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!("{json}");
+    eprintln!("wrote {}", out_path.display());
+
+    let (w_max, r_max) = results.iter().max_by_key(|(w, _)| *w).expect("at least one run");
+    let prom = &r_max.metrics_prom;
+    let prom_path = out_path.with_file_name(format!("BENCH_{pr}_METRICS.prom"));
+    std::fs::write(&prom_path, prom)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", prom_path.display()));
+    eprintln!("wrote {}", prom_path.display());
+    // Every shard of the largest configuration must have exported its
+    // labelled stage + scalar families.
+    for i in 0..*w_max {
+        for series in [
+            format!("dppr_shard_slide_apply_seconds_bucket{{write_shard=\"{i}\""),
+            format!("dppr_write_shard_epoch{{write_shard=\"{i}\"}}"),
+            format!("dppr_write_shard_slides_total{{write_shard=\"{i}\"}}"),
+        ] {
+            assert!(
+                prom.contains(&series),
+                "per-shard series {series} missing from the /metrics scrape:\n{prom}"
+            );
+        }
+    }
+    assert!(errors == 0, "{errors} failed queries during the shard sweep");
 }
 
 fn main() {
@@ -360,6 +469,7 @@ fn main() {
             sessions: 8,
             threads: 4,
             batch: 500,
+            write_shards: 1,
         },
         ExperimentScale::Full => LoadSpec {
             clients: 8,
@@ -369,8 +479,20 @@ fn main() {
             sessions: 16,
             threads: 8,
             batch: 1_000,
+            write_shards: 1,
         },
     };
+
+    if let Some(i) = args.iter().position(|a| a == "--write-shards-sweep") {
+        let counts: Vec<usize> = args
+            .get(i + 1)
+            .expect("--write-shards-sweep requires a comma-separated list")
+            .split(',')
+            .map(|v| v.trim().parse().expect("--write-shards-sweep takes shard counts"))
+            .collect();
+        run_shard_sweep(&counts, &spec, pr, &out_path, scale);
+        return;
+    }
 
     let results: Vec<(Mode, ModeResult)> =
         modes.iter().map(|&m| (m, run_mode(m, &spec))).collect();
@@ -379,7 +501,7 @@ fn main() {
     let n = 1usize << spec.scale; // vertex bound of the generated stream
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"dppr-serve-load/v3\",\n");
+    json.push_str("  \"schema\": \"dppr-serve-load/v4\",\n");
     json.push_str(&format!("  \"pr\": {pr},\n"));
     json.push_str(&format!(
         "  \"scale\": \"{}\",\n",

@@ -248,6 +248,7 @@ mod tests {
             "--read-timeout-ms", "5000", "--write-timeout-ms", "8000",
             "--shed-after-ms", "250", "--conn-backlog", "128",
             "--trace-sample", "10", "--trace-capacity", "512",
+            "--write-shards", "4",
         ])
         .unwrap();
         assert_eq!(a.command, "serve");
@@ -268,6 +269,7 @@ mod tests {
         assert_eq!(a.get_parsed("conn-backlog", 0usize).unwrap(), 128);
         assert_eq!(a.get_parsed("trace-sample", 0u64).unwrap(), 10);
         assert_eq!(a.get_parsed("trace-capacity", 1024usize).unwrap(), 512);
+        assert_eq!(a.get_parsed("write-shards", 1usize).unwrap(), 4);
 
         // An ephemeral-port line with top-degree source picking instead of
         // an explicit list.

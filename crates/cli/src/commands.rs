@@ -302,6 +302,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         threads: args.get_parsed("threads", 4usize)?,
         cache_capacity: args.get_parsed("cache-capacity", 1024usize)?,
         session_capacity: args.get_parsed("session-capacity", 64usize)?,
+        write_shards: args.get_parsed("write-shards", 1usize)?,
         alpha: args.get_finite("alpha", 0.15)?,
         epsilon: args.get_finite("epsilon", 1e-4)?,
         batch: args.get_parsed("batch", 500usize)?,
@@ -340,9 +341,10 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         .join(",");
     println!("listening\thttp://{}", handle.addr());
     println!("graph\t{name}\nsources\t{sources_csv}");
-    if let Some(r) = handle.recovery() {
+    for (i, r) in handle.recoveries().iter().enumerate() {
+        let Some(r) = r else { continue };
         println!(
-            "recovered\tcheckpoint_epoch={} replayed_batches={} epoch={} window=[{}, {})",
+            "recovered\tshard={i} checkpoint_epoch={} replayed_batches={} epoch={} window=[{}, {})",
             r.checkpoint_epoch, r.replayed_batches, r.recovered_epoch, r.window_start, r.window_end
         );
     }

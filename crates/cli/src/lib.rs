@@ -64,6 +64,8 @@ COMMANDS
              [--seed S]  [--read-timeout-ms MS (10000)]
              [--write-timeout-ms MS (10000)]  [--shed-after-ms MS (1000;
              0 = never shed)]  [--conn-backlog N (256 per shard)]
+             [--write-shards N (1; partition sessions across N
+             independent write loops by stable source hash)]
              [--data-dir DIR (durable WAL + checkpoints; restart recovers
              checkpoint + log tail)]  [--fsync batch|off|interval:MS
              (interval:50)]  [--checkpoint-every N (64 slides)]

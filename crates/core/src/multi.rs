@@ -105,6 +105,13 @@ impl MultiSourcePpr {
         &self.counters
     }
 
+    /// Index of the maintained state for `source`, if any. Indices are
+    /// not stable across [`MultiSourcePpr::remove_source`] (swap-remove),
+    /// so callers that close sessions must re-resolve rather than cache.
+    pub fn index_of(&self, source: VertexId) -> Option<usize> {
+        self.states.iter().position(|s| s.config().source == source)
+    }
+
     /// Starts maintaining a new source against an **already-populated**
     /// graph and returns its index: a [`PprState::cold_start`] state (which
     /// satisfies the invariant on any graph) is pushed to convergence from

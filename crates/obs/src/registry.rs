@@ -109,6 +109,23 @@ impl Registry {
         h
     }
 
+    /// A labeled histogram series, e.g.
+    /// `dppr_slide_apply_seconds_bucket{write_shard="2",le="0.001"}`.
+    /// The label is merged with the `le` bound on bucket lines and
+    /// rendered plainly on `_sum` / `_count`.
+    pub fn histogram_with_label(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: Unit,
+        key: &'static str,
+        value: impl Into<String>,
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(name, help, Some((key, value.into())), Metric::Histogram(h.clone(), unit));
+        h
+    }
+
     fn push(
         &self,
         name: &'static str,
@@ -157,7 +174,9 @@ impl Registry {
                 match &e.metric {
                     Metric::Counter(c) => out.series_u64(name, e.label.as_ref(), c.get()),
                     Metric::Gauge(g) => out.series_i64(name, e.label.as_ref(), g.get()),
-                    Metric::Histogram(h, unit) => out.histogram(name, &h.snapshot(), *unit),
+                    Metric::Histogram(h, unit) => {
+                        out.histogram_labeled(name, e.label.as_ref(), &h.snapshot(), *unit)
+                    }
                 }
             }
         }
@@ -242,6 +261,26 @@ impl PromText {
     /// (only up to the last non-empty bucket, then `+Inf`), `_sum`,
     /// `_count`. `Unit::Nanos` scales bounds and sum to seconds.
     pub fn histogram(&mut self, name: &str, snap: &HistSnapshot, unit: Unit) {
+        self.histogram_labeled(name, None, snap, unit);
+    }
+
+    /// Like [`PromText::histogram`] but every series carries `label`;
+    /// on bucket lines it is merged ahead of the `le` bound.
+    pub fn histogram_labeled(
+        &mut self,
+        name: &str,
+        label: Option<&(&'static str, String)>,
+        snap: &HistSnapshot,
+        unit: Unit,
+    ) {
+        // `{shard="2",` on bucket lines, `{shard="2"}` on sum/count.
+        let (bucket_prefix, plain) = match label {
+            Some((k, v)) => {
+                let inner = format!("{k}=\"{}\"", escape_label_value(v));
+                (format!("{{{inner},"), format!("{{{inner}}}"))
+            }
+            None => ("{".to_owned(), String::new()),
+        };
         for (bound, cum) in snap.cumulative_nonempty() {
             // The overflow bucket (no finite bound) is covered by the
             // closing `+Inf` line below.
@@ -250,18 +289,18 @@ impl PromText {
                 (Some(b), Unit::Raw) => format!("{b}"),
                 (None, _) => continue,
             };
-            let _ = writeln!(self.text, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            let _ = writeln!(self.text, "{name}_bucket{bucket_prefix}le=\"{le}\"}} {cum}");
         }
-        let _ = writeln!(self.text, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(self.text, "{name}_bucket{bucket_prefix}le=\"+Inf\"}} {}", snap.count);
         match unit {
             Unit::Nanos => {
-                let _ = writeln!(self.text, "{name}_sum {}", snap.sum as f64 / 1e9);
+                let _ = writeln!(self.text, "{name}_sum{plain} {}", snap.sum as f64 / 1e9);
             }
             Unit::Raw => {
-                let _ = writeln!(self.text, "{name}_sum {}", snap.sum);
+                let _ = writeln!(self.text, "{name}_sum{plain} {}", snap.sum);
             }
         }
-        let _ = writeln!(self.text, "{name}_count {}", snap.count);
+        let _ = writeln!(self.text, "{name}_count{plain} {}", snap.count);
     }
 }
 
@@ -300,5 +339,22 @@ mod tests {
         assert!(text.contains("t_lat_seconds_sum 1\n"));
         assert!(r.histogram_snapshot("t_lat_seconds").is_some());
         assert!(r.histogram_snapshot("nope").is_none());
+    }
+
+    #[test]
+    fn labeled_histograms_merge_label_with_le_and_share_one_header() {
+        let r = Registry::new();
+        let h0 = r.histogram_with_label("t_stage_seconds", "per-shard", Unit::Nanos, "shard", "0");
+        let h1 = r.histogram_with_label("t_stage_seconds", "per-shard", Unit::Nanos, "shard", "1");
+        h0.record(0);
+        h1.record(1_000_000_000);
+        let text = r.render_prometheus(&mut PromText::new());
+        assert_eq!(text.matches("# TYPE t_stage_seconds histogram").count(), 1);
+        assert!(text.contains("t_stage_seconds_bucket{shard=\"0\",le=\"0\"} 1\n"));
+        assert!(text.contains("t_stage_seconds_bucket{shard=\"0\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("t_stage_seconds_bucket{shard=\"1\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("t_stage_seconds_sum{shard=\"0\"} 0\n"));
+        assert!(text.contains("t_stage_seconds_sum{shard=\"1\"} 1\n"));
+        assert!(text.contains("t_stage_seconds_count{shard=\"1\"} 1\n"));
     }
 }

@@ -50,8 +50,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to render (absent or stale-epoch entry).
     pub misses: u64,
-    /// Entries discarded by capacity pressure.
+    /// Live (current-epoch) entries discarded by capacity pressure.
     pub evictions: u64,
+    /// Dead-epoch entries purged at insert-at-capacity. These could
+    /// never hit again, so dropping them is reclamation, not pressure —
+    /// counted apart from `evictions` so a high eviction rate actually
+    /// means live entries are fighting for capacity.
+    pub stale_purged: u64,
 }
 
 impl CacheStats {
@@ -64,6 +69,16 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Field-wise sum, for merging per-shard cache stats.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            stale_purged: self.stale_purged + other.stale_purged,
+        }
+    }
 }
 
 /// Sharded, epoch-validated cache of rendered responses.
@@ -74,6 +89,7 @@ pub struct QueryCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    stale_purged: AtomicU64,
 }
 
 impl QueryCache {
@@ -89,6 +105,7 @@ impl QueryCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_purged: AtomicU64::new(0),
         }
     }
 
@@ -137,16 +154,18 @@ impl QueryCache {
             if epoch < newest {
                 return (body, false);
             }
-            // Older-epoch entries can never hit again — drop those first;
-            // if the shard is full of current-epoch entries, clear it
-            // (simple, and epoch churn makes any retained entry
-            // short-lived anyway).
+            // Dead-epoch entries can never hit again — purge those first
+            // (reclamation, counted as `stale_purged`); only if the shard
+            // is still full of current-epoch entries does a live entry
+            // get dropped, and only that counts as capacity pressure
+            // (epoch churn makes any retained entry short-lived anyway).
             let before = guard.len();
             guard.retain(|_, e| e.epoch == epoch);
+            self.stale_purged.fetch_add((before - guard.len()) as u64, Relaxed);
             if guard.len() >= self.per_shard_cap {
+                self.evictions.fetch_add(guard.len() as u64, Relaxed);
                 guard.clear();
             }
-            self.evictions.fetch_add((before - guard.len()) as u64, Relaxed);
         }
         // Same guard on the plain-insert path: a laggard's render must not
         // overwrite a fresher entry already cached under this key.
@@ -179,6 +198,7 @@ impl QueryCache {
             hits: self.hits.load(Relaxed),
             misses: self.misses.load(Relaxed),
             evictions: self.evictions.load(Relaxed),
+            stale_purged: self.stale_purged.load(Relaxed),
         }
     }
 }
@@ -286,11 +306,45 @@ mod tests {
         for v in 0..64u32 {
             c.get_or_render(0, QueryKind::Score(v), 1, || format!("e1-{v}"));
         }
-        // Insertions at a newer epoch push the stale ones out.
+        // Insertions at a newer epoch push the stale ones out — as stale
+        // purges, not pressure evictions.
         for v in 0..64u32 {
             c.get_or_render(0, QueryKind::Score(v), 2, || format!("e2-{v}"));
         }
-        assert!(c.stats().evictions > 0);
+        assert!(c.stats().stale_purged > 0);
         assert!(c.len() <= 2 * SHARDS);
+    }
+
+    #[test]
+    fn stale_purge_is_counted_apart_from_pressure_evictions() {
+        let c = QueryCache::new(SHARDS); // one entry per shard
+        // Phase 1: flood epoch-1 keys until every shard holds exactly one
+        // e1 entry. Same-epoch churn past capacity here is genuine
+        // pressure and lands in `evictions`; nothing is stale yet.
+        for v in 0..200u32 {
+            c.get_or_render(0, QueryKind::Score(v), 1, || "old".into());
+        }
+        let s1 = c.stats();
+        assert_eq!(s1.stale_purged, 0, "no dead epochs exist during phase 1");
+        assert!(s1.evictions > 0, "e1-on-e1 churn is pressure");
+        // Phase 2: epoch-2 keys. Each shard's first e2 insert lands on a
+        // full shard whose only occupant is dead — that is reclamation
+        // (`stale_purged`), at most one per shard; later e2-on-e2 churn
+        // goes back to `evictions`.
+        for v in 0..200u32 {
+            c.get_or_render(0, QueryKind::Score(v), 2, || "new".into());
+        }
+        let s2 = c.stats();
+        let stale_delta = s2.stale_purged - s1.stale_purged;
+        assert!(stale_delta >= 1, "dead entries must be purged, not evicted");
+        assert!(
+            stale_delta <= SHARDS as u64,
+            "each shard holds at most one dead entry to purge"
+        );
+        // And the merge helper sums field-wise.
+        let doubled = s2.merge(&s2);
+        assert_eq!(doubled.evictions, 2 * s2.evictions);
+        assert_eq!(doubled.stale_purged, 2 * s2.stale_purged);
+        assert_eq!(doubled.misses, 2 * s2.misses);
     }
 }

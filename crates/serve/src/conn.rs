@@ -73,6 +73,11 @@ pub struct Conn {
     last_write: Instant,
     /// Requests answered on this connection (keep-alive depth).
     pub served: u64,
+    /// Set by the event loop when this connection hit its per-tick
+    /// request budget with input possibly still buffered: the shard must
+    /// come back next iteration without waiting for socket readiness
+    /// (buffered-but-unparsed requests produce no poll edge).
+    pub deferred: bool,
 }
 
 impl Conn {
@@ -91,6 +96,7 @@ impl Conn {
             last_read: now,
             last_write: now,
             served: 0,
+            deferred: false,
         })
     }
 

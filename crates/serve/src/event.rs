@@ -41,6 +41,14 @@ use std::time::{Duration, Instant};
 /// shutdown flag or a missed wake.
 const POLL_CEILING: Duration = Duration::from_millis(100);
 
+/// Requests answered per connection per event-loop tick. Without this
+/// cap one chatty pipelining client monopolizes its shard: the drive
+/// loop would answer its entire buffered pipeline before any other
+/// connection gets a turn. A capped connection is marked deferred and
+/// re-driven next iteration (with a zero poll timeout, so the leftover
+/// requests wait one round-robin lap, not a poll ceiling).
+const REQUESTS_PER_TICK: u32 = 8;
+
 /// Routes one parsed request to a response. Implemented by the server
 /// (which closes over the registry, cache, epoch reader, and control
 /// channel); the event loop itself is protocol-only.
@@ -198,10 +206,18 @@ pub fn spawn_shard<R: Router>(
                 fds.push(PollFd::new(c.stream().as_raw_fd(), c.interest()));
             }
 
-            // 2. timeout: nearest deadline, bounded by the ceiling.
+            // 2. timeout: nearest deadline, bounded by the ceiling. A
+            // deferred connection (per-tick request budget hit with input
+            // still buffered) forces an immediate pass: its pending
+            // requests generate no readiness edge, so waiting would
+            // strand them for a full poll ceiling.
             let now = Instant::now();
             let mut timeout = POLL_CEILING;
             for c in &conns {
+                if c.deferred {
+                    timeout = Duration::ZERO;
+                    break;
+                }
                 let dl = c.deadline(cfg.read_timeout, cfg.write_timeout);
                 timeout = timeout.min(dl.saturating_duration_since(now));
             }
@@ -293,12 +309,23 @@ fn drive<R: Router>(
             return Step::Close(why);
         }
     }
-    // Parse and answer everything buffered (pipelining), independent of
-    // which edge woke us — requests may already sit in the buffer.
+    // Parse and answer buffered requests (pipelining), independent of
+    // which edge woke us — requests may already sit in the buffer. At
+    // most `REQUESTS_PER_TICK` per connection per pass: a deep pipeline
+    // yields to the shard's other connections and resumes next tick.
+    c.deferred = false;
+    let mut budget = REQUESTS_PER_TICK;
     loop {
+        if budget == 0 {
+            // More input may be buffered; come back after other
+            // connections have had their turn.
+            c.deferred = c.wants_requests();
+            break;
+        }
         let t0 = Instant::now();
         match c.next_request(now) {
             Ok(Some((req, keep_alive))) => {
+                budget -= 1;
                 let t1 = Instant::now();
                 stats.requests.fetch_add(1, Relaxed);
                 let resp = router.route(&req);

@@ -68,7 +68,7 @@ pub use http::{Request, Response};
 pub use metrics::ServerMetrics;
 pub use registry::{OpenOutcome, SessionEntry, SessionRegistry};
 pub use server::{
-    boot_probe, pick_top_degree_sources, start, BootProbe, ServeConfig, ServeReport,
-    ServerHandle, ServerStats,
+    boot_probe, boot_probe_shards, pick_top_degree_sources, shard_data_dir, shard_of, start,
+    BootProbe, ServeConfig, ServeReport, ServerHandle, ServerStats,
 };
 pub use snapshot::QuerySnapshot;

@@ -24,6 +24,11 @@
 //! | `dppr_checkpoint_seconds` | histogram | checkpoint serialization + rename |
 //! | `dppr_shard_connections{shard=…}` | gauge | live connections per shard |
 //! | `dppr_shard_queue_depth{shard=…}` | gauge | accept hand-off backlog per shard |
+//!
+//! With `--write-shards N` each write loop additionally registers its own
+//! labelled stage family (`dppr_shard_slide_apply_seconds{write_shard=…}`
+//! and friends, see [`WriteShardStages`]); the unlabelled families above
+//! keep aggregating across all write shards.
 
 use dppr_obs::{Histogram, Registry, Sampler, TraceRing, Unit};
 use std::sync::Arc;
@@ -48,6 +53,18 @@ pub struct ServerMetrics {
     pub trace_requests: Sampler,
     /// Every-Nth slide tracing.
     pub trace_slides: Sampler,
+}
+
+/// One write shard's labelled stage histograms: the same pipeline stages
+/// as the aggregate families, but as `{write_shard="i"}` series so a
+/// straggling or degraded shard is visible in isolation.
+pub struct WriteShardStages {
+    pub slide_apply: Arc<Histogram>,
+    pub push_wall: Arc<Histogram>,
+    pub snapshot_publish: Arc<Histogram>,
+    pub wal_append: Arc<Histogram>,
+    pub wal_fsync: Arc<Histogram>,
+    pub checkpoint: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -124,6 +141,42 @@ impl ServerMetrics {
             trace: TraceRing::new(trace_capacity),
             trace_requests: Sampler::new(trace_sample),
             trace_slides: Sampler::new(trace_sample),
+        }
+    }
+
+    /// Registers the labelled per-write-shard stage families for shard
+    /// `i`. Called once per write shard at instance start; the returned
+    /// handles are recorded into by that shard's write loop alongside
+    /// the aggregate histograms above.
+    pub fn write_shard_stages(&self, i: usize) -> WriteShardStages {
+        let h = |name, help| {
+            self.registry.histogram_with_label(name, help, Unit::Nanos, "write_shard", i.to_string())
+        };
+        WriteShardStages {
+            slide_apply: h(
+                "dppr_shard_slide_apply_seconds",
+                "Per-write-shard window slide end to end",
+            ),
+            push_wall: h(
+                "dppr_shard_push_wall_seconds",
+                "Per-write-shard engine apply_batch wall time",
+            ),
+            snapshot_publish: h(
+                "dppr_shard_snapshot_publish_seconds",
+                "Per-write-shard session snapshot publication time",
+            ),
+            wal_append: h(
+                "dppr_shard_wal_append_seconds",
+                "Per-write-shard WAL record append time",
+            ),
+            wal_fsync: h(
+                "dppr_shard_wal_fsync_seconds",
+                "Per-write-shard WAL device-flush latency",
+            ),
+            checkpoint: h(
+                "dppr_shard_checkpoint_seconds",
+                "Per-write-shard checkpoint write duration",
+            ),
         }
     }
 }

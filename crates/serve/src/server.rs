@@ -32,7 +32,7 @@ use crate::epoch::{EpochDomain, Reader};
 use crate::event::{spawn_shard, ConnCounters, Router, ShardConfig, ShardGate, ShardHandle};
 use crate::http::{render_response, Request, Response};
 use crate::json::{error_body, JsonBuf};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ServerMetrics, WriteShardStages};
 use crate::registry::{OpenOutcome, SessionRegistry};
 use crate::snapshot::QuerySnapshot;
 use dppr_core::queries::BoundedScore;
@@ -43,6 +43,7 @@ use dppr_stream::StreamDriver;
 use dppr_wal::{Wal, WalOptions, WalRecord, WalStats};
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::mpsc::{self, sync_channel, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -96,6 +97,12 @@ pub struct ServeConfig {
     pub trace_sample: u64,
     /// Capacity of the trace ring in events (oldest evicted first).
     pub trace_capacity: usize,
+    /// Independent write loops (0 and 1 both mean unsharded). Sessions
+    /// are partitioned by a stable hash of their source vertex
+    /// ([`shard_of`]); each write shard owns its own engine, session
+    /// registry, query cache, epoch domain, and (with durability on) its
+    /// own WAL directory and checkpoints under `data_dir/shard-<i>/`.
+    pub write_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -117,7 +124,38 @@ impl Default for ServeConfig {
             durability: None,
             trace_sample: 0,
             trace_capacity: 1024,
+            write_shards: 1,
         }
+    }
+}
+
+/// Stable assignment of a session source to a write shard: a splitmix64
+/// finalizer over the vertex id, reduced mod `write_shards`. The mapping
+/// depends only on `(source, write_shards)`, so a session lands on the
+/// same shard across restarts and across processes (the recovery
+/// harness and the router must agree on it).
+pub fn shard_of(source: VertexId, write_shards: usize) -> usize {
+    if write_shards <= 1 {
+        return 0;
+    }
+    let mut x = (source as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % write_shards as u64) as usize
+}
+
+/// Where write shard `i` keeps its WAL + checkpoints. Unsharded
+/// instances keep the historical layout (the root itself), so existing
+/// durable directories stay recoverable; sharded instances get one
+/// subdirectory per shard.
+pub fn shard_data_dir(root: &Path, shard: usize, write_shards: usize) -> PathBuf {
+    if write_shards <= 1 {
+        root.to_path_buf()
+    } else {
+        root.join(format!("shard-{shard}"))
     }
 }
 
@@ -224,9 +262,13 @@ pub struct ServeReport {
     /// Whether a WAL failure forced read-only serving.
     pub degraded: bool,
     /// Epoch of the newest durable checkpoint (0 with durability off).
+    /// Sharded instances report the minimum across shards — the epoch
+    /// every shard is durable through.
     pub durable_epoch: u64,
-    /// Checkpoints written over the instance lifetime.
+    /// Checkpoints written over the instance lifetime (all shards).
     pub checkpoints: u64,
+    /// Independent write loops this instance ran.
+    pub write_shards: usize,
 }
 
 enum Control {
@@ -234,11 +276,50 @@ enum Control {
     Close(VertexId),
 }
 
-/// State shared by the shards, the acceptor, and the write loop.
-struct Ctx {
+/// Everything one write shard owns: its epoch domain, session registry,
+/// query cache, and the per-shard view of the stats `/stats`, `/healthz`
+/// and `/metrics` merge across shards. The engine, graph, and WAL live
+/// on the shard's writer thread; the mutexed snapshots here are
+/// refreshed by that thread after every slide.
+struct WriteShardState {
+    index: usize,
     domain: Arc<EpochDomain>,
     registry: Arc<SessionRegistry>,
     cache: Arc<QueryCache>,
+    /// Slides this shard applied (the global counter sums all shards).
+    slides: AtomicU64,
+    /// Start-relative nanos (+1) of this shard's in-flight slide; 0
+    /// while idle. Shedding is per shard: only queries routed to a
+    /// lagging shard are answered 503.
+    slide_started_ns: AtomicU64,
+    /// Whether this shard ran its stream copy dry.
+    stream_done: AtomicBool,
+    /// True once this shard's WAL failed (shard serves read-only).
+    degraded: AtomicBool,
+    degraded_reason: Mutex<Option<String>>,
+    /// Epoch of this shard's newest durable checkpoint.
+    durable_epoch: AtomicU64,
+    /// Start-relative nanos (+1) of this shard's last WAL fsync.
+    last_fsync_ns: AtomicU64,
+    wal_records: AtomicU64,
+    wal_segments: AtomicU64,
+    /// Engine push-work counters, refreshed per slide.
+    engine: Mutex<CounterSnapshot>,
+    /// Adjacency-substrate occupancy, refreshed per slide.
+    graph: Mutex<SubstrateStats>,
+    /// WAL counters as of the last append/sync.
+    wal: Mutex<WalStats>,
+    /// This shard's window bounds in logical stream positions.
+    window_start: AtomicU64,
+    window_end: AtomicU64,
+    /// Labelled `{write_shard="i"}` stage histograms.
+    stage: WriteShardStages,
+}
+
+/// State shared by the shards, the acceptor, and the write loops.
+struct Ctx {
+    /// One entry per write shard; length ≥ 1.
+    shards: Vec<Arc<WriteShardState>>,
     stats: Arc<ServerStats>,
     conn: Arc<ConnCounters>,
     shutdown: Arc<AtomicBool>,
@@ -258,26 +339,15 @@ struct Ctx {
     metrics: Arc<ServerMetrics>,
     /// Per-shard `(connections, queue_depth)` gauges, indexed by shard.
     shard_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)>,
-    /// Cumulative engine push-work counters, refreshed by the write loop
-    /// after every slide (they never leave the engine otherwise).
-    engine: Mutex<CounterSnapshot>,
-    /// Adjacency-substrate occupancy, refreshed per slide.
-    graph: Mutex<SubstrateStats>,
-    /// WAL counters as of the last append/sync (zeroed with durability
-    /// off).
-    wal: Mutex<WalStats>,
-    /// Current window bounds in logical stream positions.
-    window_start: AtomicU64,
-    window_end: AtomicU64,
     /// Total logical edges in the stream (constant per instance).
     stream_len: u64,
 }
 
 impl Ctx {
-    /// Nanoseconds the in-flight slide has been running, or `None` while
-    /// the write loop is between slides.
-    fn slide_in_flight(&self) -> Option<Duration> {
-        match self.stats.slide_started_ns.load(Relaxed) {
+    /// Nanoseconds write shard `ws`'s in-flight slide has been running,
+    /// or `None` while that shard is between slides.
+    fn slide_in_flight(&self, ws: &WriteShardState) -> Option<Duration> {
+        match ws.slide_started_ns.load(Relaxed) {
             0 => None,
             marker => {
                 let started = Duration::from_nanos(marker - 1);
@@ -286,10 +356,67 @@ impl Ctx {
         }
     }
 
-    /// Whether query traffic should currently be shed.
-    fn lagging(&self) -> bool {
+    /// Whether queries routed to write shard `ws` should be shed.
+    fn lagging(&self, ws: &WriteShardState) -> bool {
         !self.shed_after.is_zero()
-            && self.slide_in_flight().is_some_and(|d| d > self.shed_after)
+            && self.slide_in_flight(ws).is_some_and(|d| d > self.shed_after)
+    }
+
+    /// Whether any write shard is currently behind (`/healthz`).
+    fn any_lagging(&self) -> bool {
+        self.shards.iter().any(|s| self.lagging(s))
+    }
+
+    /// The epoch every shard has published through — the instance-level
+    /// epoch. (Unsharded: the one shard's epoch, unchanged semantics.)
+    fn epoch_min(&self) -> u64 {
+        self.shards.iter().map(|s| s.domain.epoch()).min().unwrap_or(0)
+    }
+
+    /// Re-derives the global durable epoch (min across shards) after any
+    /// shard checkpoints: the instance is only durable through an epoch
+    /// every shard has checkpointed or logged past.
+    fn refresh_durable_epoch(&self) {
+        let min = self.shards.iter().map(|s| s.durable_epoch.load(Relaxed)).min().unwrap_or(0);
+        self.stats.durable_epoch.store(min, Relaxed);
+    }
+
+    /// Global stream-done flag: set once every shard ran its copy dry.
+    fn refresh_stream_done(&self) {
+        if self.shards.iter().all(|s| s.stream_done.load(Relaxed)) {
+            self.stats.stream_done.store(true, Relaxed);
+        }
+    }
+
+    /// Re-derives the global WAL totals (sums) and the oldest-flush
+    /// marker after any shard appends or syncs.
+    fn refresh_wal_totals(&self) {
+        let mut records = 0;
+        let mut segments = 0;
+        let mut oldest = u64::MAX;
+        for s in &self.shards {
+            records += s.wal_records.load(Relaxed);
+            segments += s.wal_segments.load(Relaxed);
+            oldest = oldest.min(s.last_fsync_ns.load(Relaxed));
+        }
+        self.stats.wal_records.store(records, Relaxed);
+        self.stats.wal_segments.store(segments, Relaxed);
+        // The global marker is the *oldest* per-shard flush (largest
+        // age): conservative for the `/healthz` staleness report. Any
+        // shard that never flushed keeps the global marker at 0 (null).
+        self.stats.last_fsync_ns.store(if oldest == u64::MAX { 0 } else { oldest }, Relaxed);
+    }
+
+    /// Merged cache counters across every shard's query cache.
+    fn cache_stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(&s.cache.stats()))
+    }
+
+    /// Open sessions across all shards.
+    fn sessions_len(&self) -> usize {
+        self.shards.iter().map(|s| s.registry.len()).sum()
     }
 }
 
@@ -298,15 +425,13 @@ impl Ctx {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    domain: Arc<EpochDomain>,
-    registry: Arc<SessionRegistry>,
-    cache: Arc<QueryCache>,
+    write_shards: Vec<Arc<WriteShardState>>,
     stats: Arc<ServerStats>,
     conn: Arc<ConnCounters>,
     acceptor: Option<JoinHandle<()>>,
     shards: Vec<ShardHandle>,
-    writer: Option<JoinHandle<()>>,
-    recovery: Option<RecoveryReport>,
+    writers: Vec<JoinHandle<()>>,
+    recoveries: Vec<Option<RecoveryReport>>,
     metrics: Arc<ServerMetrics>,
 }
 
@@ -326,14 +451,36 @@ impl ServerHandle {
         &self.conn
     }
 
-    /// The query cache (for its hit/miss counters).
+    /// Write shard 0's query cache (the only one unsharded). Sharded
+    /// callers wanting totals should sum [`ServerHandle::shard_cache`]
+    /// stats across [`ServerHandle::write_shard_count`] shards.
     pub fn cache(&self) -> &QueryCache {
-        &self.cache
+        &self.write_shards[0].cache
     }
 
-    /// The session registry.
+    /// Write shard 0's session registry (the only one unsharded).
     pub fn registry(&self) -> &SessionRegistry {
-        &self.registry
+        &self.write_shards[0].registry
+    }
+
+    /// Independent write loops this instance runs (≥ 1).
+    pub fn write_shard_count(&self) -> usize {
+        self.write_shards.len()
+    }
+
+    /// Write shard `i`'s session registry.
+    pub fn shard_registry(&self, i: usize) -> &SessionRegistry {
+        &self.write_shards[i].registry
+    }
+
+    /// Write shard `i`'s query cache.
+    pub fn shard_cache(&self, i: usize) -> &QueryCache {
+        &self.write_shards[i].cache
+    }
+
+    /// Write shard `i`'s published epoch.
+    pub fn shard_epoch(&self, i: usize) -> u64 {
+        self.write_shards[i].domain.epoch()
     }
 
     /// The instance's metric registry and pipeline histograms (what
@@ -349,15 +496,22 @@ impl ServerHandle {
         self.metrics.trace.dump()
     }
 
-    /// Current epoch.
+    /// Current epoch: the minimum across write shards (every session is
+    /// served at least this fresh).
     pub fn epoch(&self) -> u64 {
-        self.domain.epoch()
+        self.write_shards.iter().map(|s| s.domain.epoch()).min().unwrap_or(0)
     }
 
-    /// What recovery did at startup, if this instance resumed from a
-    /// checkpoint (`None` for fresh starts and memory-only instances).
+    /// What recovery did at startup for write shard 0, if this instance
+    /// resumed from a checkpoint (`None` for fresh starts and
+    /// memory-only instances).
     pub fn recovery(&self) -> Option<&RecoveryReport> {
-        self.recovery.as_ref()
+        self.recoveries.first().and_then(Option::as_ref)
+    }
+
+    /// Per-write-shard recovery reports, in shard order.
+    pub fn recoveries(&self) -> &[Option<RecoveryReport>] {
+        &self.recoveries
     }
 
     /// Whether shutdown has been requested (flag or `POST /shutdown`).
@@ -384,11 +538,11 @@ impl ServerHandle {
         for s in self.shards.drain(..) {
             s.join();
         }
-        if let Some(h) = self.writer.take() {
+        for h in self.writers.drain(..) {
             let _ = h.join();
         }
         ServeReport {
-            epoch: self.domain.epoch(),
+            epoch: self.write_shards.iter().map(|s| s.domain.epoch()).min().unwrap_or(0),
             slides: self.stats.slides.load(Relaxed),
             updates_offered: self.stats.updates_offered.load(Relaxed),
             updates_applied: self.stats.updates_applied.load(Relaxed),
@@ -400,12 +554,16 @@ impl ServerHandle {
             read_timeouts: self.conn.read_timeouts.load(Relaxed),
             write_timeouts: self.conn.write_timeouts.load(Relaxed),
             shed: self.stats.shed.load(Relaxed),
-            cache: self.cache.stats(),
-            sessions: self.registry.len(),
+            cache: self
+                .write_shards
+                .iter()
+                .fold(CacheStats::default(), |acc, s| acc.merge(&s.cache.stats())),
+            sessions: self.write_shards.iter().map(|s| s.registry.len()).sum(),
             stream_done: self.stats.stream_done.load(Relaxed),
             degraded: self.stats.degraded.load(Relaxed),
             durable_epoch: self.stats.durable_epoch.load(Relaxed),
             checkpoints: self.stats.checkpoints.load(Relaxed),
+            write_shards: self.write_shards.len(),
         }
     }
 }
@@ -450,38 +608,89 @@ pub fn start(
         ));
     }
     let threads = cfg.threads.max(1);
-    // Shards + slack for external Reader users (tests, in-process tools).
-    let domain = EpochDomain::new(threads + 4);
-    let registry = Arc::new(SessionRegistry::new(
-        Arc::clone(&domain),
-        cfg.session_capacity.max(sources.len()),
-    ));
-    let cache = Arc::new(QueryCache::new(cfg.cache_capacity));
+    let n = cfg.write_shards.max(1);
     let stats = Arc::new(ServerStats::default());
     let conn_counters = Arc::new(ConnCounters::default());
     let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(ServerMetrics::new(cfg.trace_sample, cfg.trace_capacity));
 
-    // --- bootstrap synchronously: sessions are live before we return ----
-    // Durable instances either recover (checkpoint + WAL-tail replay) or
-    // bootstrap fresh and immediately write the epoch-1 base checkpoint;
-    // memory-only instances keep the original bootstrap path.
-    let Boot { driver, multi, wal, recovery, durable_epoch } = match &cfg.durability {
-        None => {
-            let mut driver = StreamDriver::new(stream, init_fraction);
-            let mut multi =
-                MultiSourcePpr::new(sources, cfg.alpha, cfg.epsilon, PushVariant::OPT);
-            bootstrap_window(&mut driver, &mut multi, &domain, &registry, &stats);
-            Boot { driver, multi, wal: None, recovery: None, durable_epoch: 0 }
-        }
-        Some(dcfg) => durable_boot(stream, init_fraction, sources, &cfg, dcfg, &domain, &registry, &stats)?,
-    };
+    // --- bootstrap every write shard synchronously: sessions are live
+    // before we return. Each shard consumes its own copy of the whole
+    // stream (the window slides identically everywhere) but maintains
+    // only the sessions hashed to it — so a source's PPR state is
+    // bit-identical under any shard count. Durable shards either recover
+    // (their checkpoint + WAL tail) or bootstrap fresh and write their
+    // epoch-1 base checkpoint.
+    let mut boots: Vec<Boot> = Vec::with_capacity(n);
+    let mut dcfgs: Vec<Option<DurabilityConfig>> = Vec::with_capacity(n);
+    let mut shard_states: Vec<Arc<WriteShardState>> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Event-loop shards each hold one Reader per write shard, + slack
+        // for external Reader users (tests, in-process tools).
+        let domain = EpochDomain::new(threads + 4);
+        let shard_sources: Vec<VertexId> =
+            sources.iter().copied().filter(|&s| shard_of(s, n) == i).collect();
+        let registry = Arc::new(SessionRegistry::new(
+            Arc::clone(&domain),
+            cfg.session_capacity.div_ceil(n).max(shard_sources.len()).max(1),
+        ));
+        let cache = Arc::new(QueryCache::new(cfg.cache_capacity.div_ceil(n)));
+        let dcfg = cfg.durability.as_ref().map(|d| DurabilityConfig {
+            data_dir: shard_data_dir(&d.data_dir, i, n),
+            ..d.clone()
+        });
+        let boot = match &dcfg {
+            None => {
+                let mut driver = StreamDriver::new(stream.clone(), init_fraction);
+                let mut multi =
+                    MultiSourcePpr::new(&shard_sources, cfg.alpha, cfg.epsilon, PushVariant::OPT);
+                bootstrap_window(&mut driver, &mut multi, &domain, &registry, &stats);
+                Boot { driver, multi, wal: None, recovery: None, durable_epoch: 0 }
+            }
+            Some(d) => durable_boot(
+                stream.clone(),
+                init_fraction,
+                &shard_sources,
+                &cfg,
+                d,
+                &domain,
+                &registry,
+                &stats,
+            )?,
+        };
+        let (ws, we) = boot.driver.window_range();
+        shard_states.push(Arc::new(WriteShardState {
+            index: i,
+            domain,
+            registry,
+            cache,
+            slides: AtomicU64::new(0),
+            slide_started_ns: AtomicU64::new(0),
+            stream_done: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(None),
+            durable_epoch: AtomicU64::new(boot.durable_epoch),
+            last_fsync_ns: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            wal_segments: AtomicU64::new(0),
+            engine: Mutex::new(boot.multi.counters().snapshot()),
+            graph: Mutex::new(boot.driver.graph().substrate_stats()),
+            wal: Mutex::new(WalStats::default()),
+            window_start: AtomicU64::new(ws as u64),
+            window_end: AtomicU64::new(we as u64),
+            stage: metrics.write_shard_stages(i),
+        }));
+        dcfgs.push(dcfg);
+        boots.push(boot);
+    }
+    if cfg.durability.is_some() {
+        let min = shard_states.iter().map(|s| s.durable_epoch.load(Relaxed)).min().unwrap_or(0);
+        stats.durable_epoch.store(min, Relaxed);
+    }
 
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let addr = listener.local_addr()?;
 
-    let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
-
-    let metrics = Arc::new(ServerMetrics::new(cfg.trace_sample, cfg.trace_capacity));
     let shard_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)> = (0..threads)
         .map(|w| {
             (
@@ -500,11 +709,9 @@ pub fn start(
             )
         })
         .collect();
-    let (ws, we) = driver.window_range();
+    let stream_len = boots[0].driver.stream_len() as u64;
     let ctx = Arc::new(Ctx {
-        domain: Arc::clone(&domain),
-        registry: Arc::clone(&registry),
-        cache: Arc::clone(&cache),
+        shards: shard_states.clone(),
         stats: Arc::clone(&stats),
         conn: Arc::clone(&conn_counters),
         shutdown: Arc::clone(&shutdown),
@@ -515,32 +722,37 @@ pub fn start(
         durability_enabled: cfg.durability.is_some(),
         metrics: Arc::clone(&metrics),
         shard_gauges,
-        engine: Mutex::new(multi.counters().snapshot()),
-        graph: Mutex::new(driver.graph().substrate_stats()),
-        wal: Mutex::new(WalStats::default()),
-        window_start: AtomicU64::new(ws as u64),
-        window_end: AtomicU64::new(we as u64),
-        stream_len: driver.stream_len() as u64,
+        stream_len,
     });
 
-    // --- background checkpointer + write loop -----------------------------
-    let dur = match (&cfg.durability, wal) {
-        (Some(dcfg), Some(wal)) => Some(spawn_durable(
-            dcfg.clone(),
-            wal,
-            durable_epoch,
-            Arc::clone(&stats),
-            Arc::clone(&metrics),
-        )?),
-        _ => None,
-    };
-    let writer = {
-        let ctx = Arc::clone(&ctx);
-        let cfg = cfg.clone();
-        std::thread::Builder::new()
-            .name("dppr-serve-writer".into())
-            .spawn(move || write_loop(driver, multi, ctl_rx, ctx, cfg, dur))?
-    };
+    // --- per-shard background checkpointer + write loop -------------------
+    let mut ctl_txs: Vec<mpsc::Sender<Control>> = Vec::with_capacity(n);
+    let mut writers: Vec<JoinHandle<()>> = Vec::with_capacity(n);
+    let mut recoveries: Vec<Option<RecoveryReport>> = Vec::with_capacity(n);
+    for (i, boot) in boots.into_iter().enumerate() {
+        let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
+        ctl_txs.push(ctl_tx);
+        recoveries.push(boot.recovery);
+        let dur = match (dcfgs[i].take(), boot.wal) {
+            (Some(dcfg), Some(wal)) => Some(spawn_durable(
+                dcfg,
+                wal,
+                boot.durable_epoch,
+                Arc::clone(&ctx),
+                Arc::clone(&shard_states[i]),
+            )?),
+            _ => None,
+        };
+        let writer = {
+            let ctx = Arc::clone(&ctx);
+            let shard = Arc::clone(&shard_states[i]);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("dppr-serve-writer-{i}"))
+                .spawn(move || write_loop(boot.driver, boot.multi, ctl_rx, ctx, shard, cfg, dur))?
+        };
+        writers.push(writer);
+    }
 
     // --- event-loop shards ------------------------------------------------
     let shard_cfg = ShardConfig {
@@ -553,8 +765,8 @@ pub fn start(
         let (conn_gauge, depth_gauge) = ctx.shard_gauges[w].clone();
         let router = RouterImpl {
             ctx: Arc::clone(&ctx),
-            reader: domain.register_reader(),
-            ctl_tx: ctl_tx.clone(),
+            readers: shard_states.iter().map(|s| s.domain.register_reader()).collect(),
+            ctl_txs: ctl_txs.clone(),
             shard: w,
             conn_gauge,
             depth_gauge,
@@ -576,7 +788,7 @@ pub fn start(
         gates.push(shard.gate()?);
         shards.push(shard);
     }
-    drop(ctl_tx);
+    drop(ctl_txs);
 
     // --- acceptor ---------------------------------------------------------
     let acceptor = {
@@ -629,15 +841,13 @@ pub fn start(
     Ok(ServerHandle {
         addr,
         shutdown,
-        domain,
-        registry,
-        cache,
+        write_shards: shard_states,
         stats,
         conn: conn_counters,
         acceptor: Some(acceptor),
         shards,
-        writer: Some(writer),
-        recovery,
+        writers,
+        recoveries,
         metrics,
     })
 }
@@ -664,9 +874,11 @@ fn bootstrap_window(
     let init = driver.take_initial_batch();
     let t = Instant::now();
     let applied = multi.apply_batch(driver.graph_mut(), &init);
-    stats.update_nanos.store(t.elapsed().as_nanos() as u64, Relaxed);
-    stats.updates_offered.store(init.len() as u64, Relaxed);
-    stats.updates_applied.store(applied as u64, Relaxed);
+    // Accumulate, don't overwrite: with several write shards every shard
+    // bootstraps the same window, and the global counters sum them.
+    stats.update_nanos.fetch_add(t.elapsed().as_nanos() as u64, Relaxed);
+    stats.updates_offered.fetch_add(init.len() as u64, Relaxed);
+    stats.updates_applied.fetch_add(applied as u64, Relaxed);
     let epoch = domain.advance();
     for i in 0..multi.num_sources() {
         registry.open(
@@ -725,7 +937,6 @@ fn durable_boot(
         durability::write_checkpoint(&dcfg.data_dir, 1, (ws, we), &states)?;
         wal.append(&WalRecord::Checkpoint { epoch: 1 })?;
         wal.sync()?;
-        stats.durable_epoch.store(1, Relaxed);
         stats.checkpoints.fetch_add(1, Relaxed);
         return Ok(Boot { driver, multi, wal: Some(wal), recovery: None, durable_epoch: 1 });
     };
@@ -803,7 +1014,6 @@ fn durable_boot(
     wal.append(&WalRecord::Checkpoint { epoch: checkpoint_epoch })?;
     wal.sync()?;
     wal.prune_through(checkpoint_epoch)?;
-    stats.durable_epoch.store(checkpoint_epoch, Relaxed);
 
     let (ws, we) = driver.window_range();
     let recovery = RecoveryReport {
@@ -863,6 +1073,34 @@ pub fn boot_probe(
     Ok(BootProbe { recovery: boot.recovery, epoch: domain.epoch(), fingerprints })
 }
 
+/// [`boot_probe`] for every write shard of a sharded durable instance:
+/// probes each shard's own data directory with the sources hashed to it,
+/// exactly as [`start`] would boot them. The crash-recovery harness uses
+/// this to assert per-shard bit-identical fingerprints after a kill.
+pub fn boot_probe_shards(
+    stream: GraphStream,
+    init_fraction: f64,
+    sources: &[VertexId],
+    cfg: &ServeConfig,
+) -> io::Result<Vec<BootProbe>> {
+    let n = cfg.write_shards.max(1);
+    let dcfg = cfg.durability.as_ref().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "boot_probe_shards requires cfg.durability")
+    })?;
+    (0..n)
+        .map(|i| {
+            let shard_sources: Vec<VertexId> =
+                sources.iter().copied().filter(|&s| shard_of(s, n) == i).collect();
+            let mut scfg = cfg.clone();
+            scfg.durability = Some(DurabilityConfig {
+                data_dir: shard_data_dir(&dcfg.data_dir, i, n),
+                ..dcfg.clone()
+            });
+            boot_probe(stream.clone(), init_fraction, &shard_sources, &scfg)
+        })
+        .collect()
+}
+
 /// A snapshot of everything one checkpoint needs, handed to the
 /// background checkpointer over a bounded channel.
 struct CkptJob {
@@ -892,14 +1130,14 @@ struct DurableState {
     seen: WalStats,
 }
 
-/// Spawns the background checkpointer and packages the durable state for
-/// the write loop.
+/// Spawns the background checkpointer for one write shard and packages
+/// the durable state for that shard's write loop.
 fn spawn_durable(
     dcfg: DurabilityConfig,
     wal: Wal,
     durable_epoch: u64,
-    stats: Arc<ServerStats>,
-    metrics: Arc<ServerMetrics>,
+    ctx: Arc<Ctx>,
+    shard: Arc<WriteShardState>,
 ) -> io::Result<DurableState> {
     let durable = Arc::new(AtomicU64::new(durable_epoch));
     let (ckpt_tx, ckpt_rx) = sync_channel::<CkptJob>(1);
@@ -907,7 +1145,7 @@ fn spawn_durable(
         let durable = Arc::clone(&durable);
         let data_dir = dcfg.data_dir.clone();
         std::thread::Builder::new()
-            .name("dppr-serve-ckpt".into())
+            .name(format!("dppr-serve-ckpt-{}", shard.index))
             .spawn(move || {
                 while let Ok(job) = ckpt_rx.recv() {
                     let t = Instant::now();
@@ -918,18 +1156,21 @@ fn spawn_durable(
                         &job.states,
                     ) {
                         Ok(()) => {
-                            metrics.checkpoint.record(t.elapsed().as_nanos() as u64);
+                            let ns = t.elapsed().as_nanos() as u64;
+                            ctx.metrics.checkpoint.record(ns);
+                            shard.stage.checkpoint.record(ns);
                             let _ = durability::prune_checkpoints(&data_dir, job.epoch);
                             durable.store(job.epoch, Relaxed);
-                            stats.durable_epoch.store(job.epoch, Relaxed);
-                            stats.checkpoints.fetch_add(1, Relaxed);
+                            shard.durable_epoch.store(job.epoch, Relaxed);
+                            ctx.refresh_durable_epoch();
+                            ctx.stats.checkpoints.fetch_add(1, Relaxed);
                         }
                         Err(e) => {
                             eprintln!(
                                 "dppr-serve: checkpoint at epoch {} failed: {e}",
                                 job.epoch
                             );
-                            stats.checkpoint_failures.fetch_add(1, Relaxed);
+                            ctx.stats.checkpoint_failures.fetch_add(1, Relaxed);
                         }
                     }
                 }
@@ -948,30 +1189,45 @@ fn spawn_durable(
     })
 }
 
-/// Publishes fresh WAL counters after appends/syncs: fsync latency from
-/// the `sync_nanos` delta, the last-fsync timestamp for `/healthz`, and
-/// the raw stats for `/stats` and `/metrics`.
-fn note_wal(d: &mut DurableState, ctx: &Ctx) {
+/// Publishes one shard's fresh WAL counters after appends/syncs: fsync
+/// latency from the `sync_nanos` delta, the last-fsync timestamp for
+/// `/healthz`, and the raw stats for `/stats` and `/metrics`. The global
+/// totals (sums across shards) are re-derived afterwards.
+fn note_wal(d: &mut DurableState, ctx: &Ctx, shard: &WriteShardState) {
     let s = d.wal.stats();
     let syncs = s.syncs - d.seen.syncs;
     if let Some(per_sync) = (s.sync_nanos - d.seen.sync_nanos).checked_div(syncs) {
         for _ in 0..syncs {
             ctx.metrics.wal_fsync.record(per_sync);
+            shard.stage.wal_fsync.record(per_sync);
         }
-        ctx.stats
+        shard
             .last_fsync_ns
             .store(ctx.start.elapsed().as_nanos() as u64 + 1, Relaxed);
     }
-    ctx.stats.wal_records.store(s.appends, Relaxed);
-    ctx.stats.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
-    *ctx.wal.lock().unwrap() = s;
+    shard.wal_records.store(s.appends, Relaxed);
+    shard.wal_segments.store(d.wal.segment_count() as u64, Relaxed);
+    *shard.wal.lock().unwrap() = s;
     d.seen = s;
+    ctx.refresh_wal_totals();
 }
 
-/// Records why the instance degraded to read-only (shown by `/healthz`).
-fn mark_degraded(ctx: &Ctx, reason: String) {
+/// Records why a write shard degraded to read-only (shown by
+/// `/healthz`): the shard's own flag plus the instance-level flag. The
+/// first shard to degrade provides the instance-level reason.
+fn mark_degraded(ctx: &Ctx, shard: &WriteShardState, reason: String) {
+    shard.degraded.store(true, SeqCst);
+    let global = if ctx.shards.len() == 1 {
+        reason.clone()
+    } else {
+        format!("write shard {}: {reason}", shard.index)
+    };
+    *shard.degraded_reason.lock().unwrap() = Some(reason);
     ctx.stats.degraded.store(true, SeqCst);
-    *ctx.stats.degraded_reason.lock().unwrap() = Some(reason);
+    let mut g = ctx.stats.degraded_reason.lock().unwrap();
+    if g.is_none() {
+        *g = Some(global);
+    }
 }
 
 /// Answers an un-adoptable connection with `503 Retry-After: 1`
@@ -997,6 +1253,7 @@ fn write_loop(
     mut multi: MultiSourcePpr,
     ctl_rx: mpsc::Receiver<Control>,
     ctx: Arc<Ctx>,
+    shard: Arc<WriteShardState>,
     cfg: ServeConfig,
     mut dur: Option<DurableState>,
 ) {
@@ -1008,30 +1265,31 @@ fn write_loop(
             break;
         }
         while let Ok(ctl) = ctl_rx.try_recv() {
-            handle_control(ctl, &mut driver, &mut multi, &ctx);
+            handle_control(ctl, &mut driver, &mut multi, &ctx, &shard);
         }
         // Retention follows the background checkpointer: once a newer
         // checkpoint is durable, append its marker and drop the WAL
         // segments it covers.
         if let Some(d) = dur.as_mut() {
-            ack_durable(d, &ctx);
+            ack_durable(d, &ctx, &shard);
         }
         let frozen = dur.as_ref().is_some_and(|d| d.dead)
             || (cfg.max_slides != 0
-                && ctx.stats.slides.load(Relaxed) >= cfg.max_slides as u64);
-        if frozen || ctx.stats.stream_done.load(Relaxed) {
+                && shard.slides.load(Relaxed) >= cfg.max_slides as u64);
+        if frozen || shard.stream_done.load(Relaxed) {
             // Nothing left to slide (stream dry, slide cap, or WAL
             // failure → read-only): serve from the frozen epoch, but stay
             // responsive to session control and shutdown.
             match ctl_rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(ctl) => handle_control(ctl, &mut driver, &mut multi, &ctx),
+                Ok(ctl) => handle_control(ctl, &mut driver, &mut multi, &ctx, &shard),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
             continue;
         }
         let Some(batch) = driver.slide_batch(cfg.batch) else {
-            ctx.stats.stream_done.store(true, Relaxed);
+            shard.stream_done.store(true, Relaxed);
+            ctx.refresh_stream_done();
             continue;
         };
         // Write-ahead point: the batch must be in the log *before* its
@@ -1044,7 +1302,7 @@ fn write_loop(
         if let Some(d) = dur.as_mut() {
             let (ws, we) = driver.window_range();
             let rec = WalRecord::Batch {
-                epoch: ctx.domain.epoch() + 1,
+                epoch: shard.domain.epoch() + 1,
                 window_start: ws as u64,
                 window_end: we as u64,
                 updates: batch.clone(),
@@ -1053,61 +1311,67 @@ fn write_loop(
             if let Err(e) = d.wal.append(&rec) {
                 eprintln!("dppr-serve: WAL append failed ({e}); serving read-only from here");
                 d.dead = true;
-                mark_degraded(&ctx, format!("WAL append failed: {e}"));
+                mark_degraded(&ctx, &shard, format!("WAL append failed: {e}"));
                 continue;
             }
             wal_append_ns = t.elapsed().as_nanos() as u64;
             ctx.metrics.wal_append.record(wal_append_ns);
-            note_wal(d, &ctx);
+            shard.stage.wal_append.record(wal_append_ns);
+            note_wal(d, &ctx, &shard);
         }
-        // Lag marker: queries observe how long this slide has been in
-        // flight and shed once it exceeds `shed_after` (the snapshot they
-        // would serve is stale by at least that much).
-        ctx.stats
+        // Lag marker: queries routed to this shard observe how long the
+        // slide has been in flight and shed once it exceeds `shed_after`
+        // (the snapshot they would serve is stale by at least that much).
+        shard
             .slide_started_ns
             .store(ctx.start.elapsed().as_nanos() as u64 + 1, Relaxed);
         let t = Instant::now();
         let applied = multi.apply_batch(driver.graph_mut(), &batch);
         let apply_ns = t.elapsed().as_nanos() as u64;
         ctx.metrics.push_wall.record(apply_ns);
+        shard.stage.push_wall.record(apply_ns);
         ctx.stats.update_nanos.fetch_add(apply_ns, Relaxed);
         ctx.stats.updates_offered.fetch_add(batch.len() as u64, Relaxed);
         ctx.stats.updates_applied.fetch_add(applied as u64, Relaxed);
         ctx.stats.slides.fetch_add(1, Relaxed);
+        shard.slides.fetch_add(1, Relaxed);
         // Publication point: one epoch per batch, every session swapped to
         // a snapshot of the new converged state.
-        let epoch = ctx.domain.advance();
+        let epoch = shard.domain.advance();
         let t = Instant::now();
         for i in 0..multi.num_sources() {
-            if let Some(entry) = ctx.registry.peek(multi.source(i)) {
+            if let Some(entry) = shard.registry.peek(multi.source(i)) {
                 entry.publish(
-                    &ctx.domain,
+                    &shard.domain,
                     Arc::new(QuerySnapshot::from_state(multi.state(i), epoch)),
                 );
             }
         }
         let publish_ns = t.elapsed().as_nanos() as u64;
         ctx.metrics.snapshot_publish.record(publish_ns);
-        ctx.stats.slide_started_ns.store(0, Relaxed);
+        shard.stage.snapshot_publish.record(publish_ns);
+        shard.slide_started_ns.store(0, Relaxed);
         let slide_ns = slide_t.elapsed().as_nanos() as u64;
         ctx.metrics.slide_apply.record(slide_ns);
+        shard.stage.slide_apply.record(slide_ns);
 
         // Refresh the engine/graph/stream views `/stats` and `/metrics`
-        // read (the write loop is the only thread that can see them).
+        // read (this write loop is the only thread that can see them).
         let counters = multi.counters().snapshot();
         let delta = counters - prev_counters;
         ctx.metrics.push_iterations.record(delta.iterations);
         prev_counters = counters;
-        *ctx.engine.lock().unwrap() = counters;
-        *ctx.graph.lock().unwrap() = driver.graph().substrate_stats();
+        *shard.engine.lock().unwrap() = counters;
+        *shard.graph.lock().unwrap() = driver.graph().substrate_stats();
         let (ws, we) = driver.window_range();
-        ctx.window_start.store(ws as u64, Relaxed);
-        ctx.window_end.store(we as u64, Relaxed);
+        shard.window_start.store(ws as u64, Relaxed);
+        shard.window_end.store(we as u64, Relaxed);
 
         if ctx.metrics.trace_slides.sample() {
             let mut j = JsonBuf::new();
             j.begin_obj();
             j.key("event").str("slide");
+            j.key("write_shard").uint(shard.index as u64);
             j.key("epoch").uint(epoch);
             j.key("batch_updates").uint(batch.len() as u64);
             j.key("applied").uint(applied as u64);
@@ -1122,7 +1386,7 @@ fn write_loop(
         }
 
         if let Some(d) = dur.as_mut() {
-            maybe_checkpoint(d, &ctx, epoch, &driver, &multi);
+            maybe_checkpoint(d, &shard, epoch, &driver, &multi);
         }
         if !cfg.slide_pause.is_zero() {
             std::thread::sleep(cfg.slide_pause);
@@ -1131,13 +1395,13 @@ fn write_loop(
     // Graceful shutdown: stop the background checkpointer, flush the WAL,
     // and leave a final checkpoint so the next start replays nothing.
     if let Some(d) = dur.as_mut() {
-        finalize_durable(d, &ctx, &driver, &multi);
+        finalize_durable(d, &ctx, &shard, &driver, &multi);
     }
 }
 
 /// Appends the `Checkpoint` marker for any newly durable checkpoint and
 /// prunes the WAL segments it covers.
-fn ack_durable(d: &mut DurableState, ctx: &Ctx) {
+fn ack_durable(d: &mut DurableState, ctx: &Ctx, shard: &WriteShardState) {
     let e = d.durable.load(Relaxed);
     if d.dead || e <= d.acked {
         return;
@@ -1150,12 +1414,12 @@ fn ack_durable(d: &mut DurableState, ctx: &Ctx) {
     match result {
         Ok(_) => {
             d.acked = e;
-            note_wal(d, ctx);
+            note_wal(d, ctx, shard);
         }
         Err(err) => {
             eprintln!("dppr-serve: WAL checkpoint marker failed ({err}); serving read-only");
             d.dead = true;
-            mark_degraded(ctx, format!("WAL checkpoint marker failed: {err}"));
+            mark_degraded(ctx, shard, format!("WAL checkpoint marker failed: {err}"));
         }
     }
 }
@@ -1166,13 +1430,13 @@ fn ack_durable(d: &mut DurableState, ctx: &Ctx) {
 /// the write loop.
 fn maybe_checkpoint(
     d: &mut DurableState,
-    ctx: &Ctx,
+    shard: &WriteShardState,
     epoch: u64,
     driver: &StreamDriver,
     multi: &MultiSourcePpr,
 ) {
     let every = d.cfg.checkpoint_every_slides;
-    if every == 0 || !ctx.stats.slides.load(Relaxed).is_multiple_of(every) {
+    if every == 0 || !shard.slides.load(Relaxed).is_multiple_of(every) {
         return;
     }
     let Some(tx) = d.ckpt_tx.as_ref() else { return };
@@ -1190,7 +1454,13 @@ fn maybe_checkpoint(
 /// Shutdown path: drain the checkpointer, then write the final
 /// checkpoint synchronously (every applied slide becomes part of the
 /// base; the WAL tail for the next start is empty).
-fn finalize_durable(d: &mut DurableState, ctx: &Ctx, driver: &StreamDriver, multi: &MultiSourcePpr) {
+fn finalize_durable(
+    d: &mut DurableState,
+    ctx: &Ctx,
+    shard: &WriteShardState,
+    driver: &StreamDriver,
+    multi: &MultiSourcePpr,
+) {
     d.ckpt_tx = None; // close the channel → checkpointer drains and exits
     if let Some(h) = d.ckpt_thread.take() {
         let _ = h.join();
@@ -1199,7 +1469,7 @@ fn finalize_durable(d: &mut DurableState, ctx: &Ctx, driver: &StreamDriver, mult
     if d.dead {
         return;
     }
-    let epoch = ctx.domain.epoch();
+    let epoch = shard.domain.epoch();
     if epoch <= d.durable.load(Relaxed) {
         return; // nothing applied since the last durable checkpoint
     }
@@ -1208,9 +1478,12 @@ fn finalize_durable(d: &mut DurableState, ctx: &Ctx, driver: &StreamDriver, mult
     let t = Instant::now();
     match durability::write_checkpoint(&d.cfg.data_dir, epoch, driver.window_range(), &states) {
         Ok(()) => {
-            ctx.metrics.checkpoint.record(t.elapsed().as_nanos() as u64);
+            let ns = t.elapsed().as_nanos() as u64;
+            ctx.metrics.checkpoint.record(ns);
+            shard.stage.checkpoint.record(ns);
             let _ = durability::prune_checkpoints(&d.cfg.data_dir, epoch);
-            ctx.stats.durable_epoch.store(epoch, Relaxed);
+            shard.durable_epoch.store(epoch, Relaxed);
+            ctx.refresh_durable_epoch();
             ctx.stats.checkpoints.fetch_add(1, Relaxed);
             let _ = d
                 .wal
@@ -1227,16 +1500,17 @@ fn handle_control(
     driver: &mut StreamDriver,
     multi: &mut MultiSourcePpr,
     ctx: &Ctx,
+    shard: &WriteShardState,
 ) {
     match ctl {
         Control::Open(s) => {
-            if ctx.registry.peek(s).is_some() {
+            if shard.registry.peek(s).is_some() {
                 return;
             }
             let i = multi.add_source(driver.graph(), s);
-            let snap = QuerySnapshot::from_state(multi.state(i), ctx.domain.epoch());
+            let snap = QuerySnapshot::from_state(multi.state(i), shard.domain.epoch());
             if let OpenOutcome::Opened { evicted: Some(victim) } =
-                ctx.registry.open(s, Arc::new(snap))
+                shard.registry.open(s, Arc::new(snap))
             {
                 remove_maintained(multi, victim);
                 ctx.stats.sessions_evicted.fetch_add(1, Relaxed);
@@ -1244,7 +1518,7 @@ fn handle_control(
             ctx.stats.sessions_opened.fetch_add(1, Relaxed);
         }
         Control::Close(s) => {
-            if ctx.registry.close(s) {
+            if shard.registry.close(s) {
                 remove_maintained(multi, s);
                 ctx.stats.sessions_closed.fetch_add(1, Relaxed);
             }
@@ -1253,21 +1527,22 @@ fn handle_control(
 }
 
 fn remove_maintained(multi: &mut MultiSourcePpr, source: VertexId) {
-    if let Some(i) = (0..multi.num_sources()).find(|&j| multi.source(j) == source) {
+    if let Some(i) = multi.index_of(source) {
         multi.remove_source(i);
     }
 }
 
 // --- request routing ------------------------------------------------------
 
-/// The per-shard router: shared state + this shard's epoch reader,
-/// control-channel handle, and thread-local telemetry accumulators
-/// (flushed to the shared histograms once per event-loop tick, so the
-/// per-request path touches no shared atomics).
+/// The per-shard router: shared state + this shard's epoch readers (one
+/// per write-shard domain), control-channel handles (one per write
+/// shard), and thread-local telemetry accumulators (flushed to the
+/// shared histograms once per event-loop tick, so the per-request path
+/// touches no shared atomics).
 struct RouterImpl {
     ctx: Arc<Ctx>,
-    reader: Reader,
-    ctl_tx: mpsc::Sender<Control>,
+    readers: Vec<Reader>,
+    ctl_txs: Vec<mpsc::Sender<Control>>,
     shard: usize,
     conn_gauge: Arc<Gauge>,
     depth_gauge: Arc<Gauge>,
@@ -1279,7 +1554,7 @@ struct RouterImpl {
 
 impl Router for RouterImpl {
     fn route(&mut self, req: &Request) -> Response {
-        match route(req, &self.ctx, &self.reader, &self.ctl_tx) {
+        match route(req, &self.ctx, &self.readers, &self.ctl_txs) {
             Ok(resp) => resp,
             Err(msg) => Response::new(400, error_body(&msg)),
         }
@@ -1304,7 +1579,7 @@ impl Router for RouterImpl {
             j.key("shard").uint(self.shard as u64);
             j.key("path").str(&req.path);
             j.key("status").uint(status as u64);
-            j.key("epoch").uint(self.ctx.domain.epoch());
+            j.key("epoch").uint(self.ctx.epoch_min());
             j.key("parse_ns").uint(parse_ns);
             j.key("route_ns").uint(route_ns);
             j.key("write_ns").uint(write_ns);
@@ -1333,15 +1608,21 @@ fn push_bounded(j: &mut JsonBuf, b: &BoundedScore) {
     j.end_obj();
 }
 
-/// Loads the snapshot for a `source=` query parameter, or a 404 body.
+/// Resolves a `source=` query parameter to its write shard and loads the
+/// published snapshot: the 503 shed gate (that shard lagging) and the
+/// 404 (no session) travel in the inner `Err`.
 fn snapshot_for(
     req: &Request,
     ctx: &Ctx,
-    reader: &Reader,
-) -> Result<Result<Arc<QuerySnapshot>, Response>, String> {
+    readers: &[Reader],
+) -> Result<Result<(Arc<QuerySnapshot>, usize), Response>, String> {
     let source: VertexId = req.require("source")?;
-    Ok(match ctx.registry.lookup(source) {
-        Some(entry) => Ok(entry.load(reader)),
+    let ws = shard_of(source, ctx.shards.len());
+    if let Some(shed) = shed_check(ctx, ws) {
+        return Ok(Err(shed));
+    }
+    Ok(match ctx.shards[ws].registry.lookup(source) {
+        Some(entry) => Ok((entry.load(&readers[ws]), ws)),
         None => Err(Response::new(
             404,
             error_body(&format!("no open session for source {source}")),
@@ -1349,11 +1630,13 @@ fn snapshot_for(
     })
 }
 
-/// Load-shedding gate for the query endpoints: while the write loop has
-/// had a slide in flight longer than `shed_after`, answer `503
+/// Load-shedding gate for the query endpoints: while write shard `ws`
+/// has had a slide in flight longer than `shed_after`, answer `503
 /// Retry-After` instead of serving a snapshot that lags the stream.
-fn shed_check(ctx: &Ctx) -> Option<Response> {
-    if !ctx.lagging() {
+/// Shedding is per shard — a straggler does not shed traffic for
+/// sessions owned by healthy shards.
+fn shed_check(ctx: &Ctx, ws: usize) -> Option<Response> {
+    if !ctx.lagging(&ctx.shards[ws]) {
         return None;
     }
     ctx.stats.shed.fetch_add(1, Relaxed);
@@ -1370,18 +1653,18 @@ fn shed_check(ctx: &Ctx) -> Option<Response> {
 fn route(
     req: &Request,
     ctx: &Ctx,
-    reader: &Reader,
-    ctl_tx: &mpsc::Sender<Control>,
+    readers: &[Reader],
+    ctl_txs: &[mpsc::Sender<Control>],
 ) -> Result<Response, String> {
     match req.path.as_str() {
         "/healthz" => {
             let mut j = JsonBuf::new();
             j.begin_obj();
             j.key("ok").bool(true);
-            j.key("epoch").uint(ctx.domain.epoch());
+            j.key("epoch").uint(ctx.epoch_min());
             j.key("degraded").bool(ctx.stats.degraded.load(Relaxed));
             // WAL health: why the instance went read-only (null while
-            // healthy) and how stale the newest durable flush is.
+            // healthy) and how stale the oldest shard's durable flush is.
             j.key("degraded_reason");
             match ctx.stats.degraded_reason.lock().unwrap().as_deref() {
                 Some(reason) => j.str(reason),
@@ -1396,6 +1679,22 @@ fn route(
                     j.num(age as f64 / 1e9)
                 }
             };
+            j.key("lagging").bool(ctx.any_lagging());
+            j.key("write_shards").begin_arr();
+            for s in &ctx.shards {
+                j.begin_obj();
+                j.key("shard").uint(s.index as u64);
+                j.key("epoch").uint(s.domain.epoch());
+                j.key("degraded").bool(s.degraded.load(Relaxed));
+                j.key("stream_done").bool(s.stream_done.load(Relaxed));
+                j.key("lag_seconds");
+                match ctx.slide_in_flight(s) {
+                    Some(d) => j.num(d.as_secs_f64()),
+                    None => j.num(0.0),
+                };
+                j.end_obj();
+            }
+            j.end_arr();
             j.end_obj();
             Ok(Response::new(200, j.finish()))
         }
@@ -1411,15 +1710,12 @@ fn route(
         )),
         "/topk" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
-            if let Some(shed) = shed_check(ctx) {
-                return Ok(shed);
-            }
             let k: usize = req.parsed_or("k", 10)?;
-            let snap = match snapshot_for(req, ctx, reader)? {
+            let (snap, ws) = match snapshot_for(req, ctx, readers)? {
                 Ok(s) => s,
                 Err(e) => return Ok(e),
             };
-            let (body, _) = ctx.cache.get_or_render(
+            let (body, _) = ctx.shards[ws].cache.get_or_render(
                 snap.source(),
                 QueryKind::TopK(k),
                 snap.epoch(),
@@ -1445,15 +1741,12 @@ fn route(
         }
         "/score" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
-            if let Some(shed) = shed_check(ctx) {
-                return Ok(shed);
-            }
             let v: VertexId = req.require("v")?;
-            let snap = match snapshot_for(req, ctx, reader)? {
+            let (snap, ws) = match snapshot_for(req, ctx, readers)? {
                 Ok(s) => s,
                 Err(e) => return Ok(e),
             };
-            let (body, _) = ctx.cache.get_or_render(
+            let (body, _) = ctx.shards[ws].cache.get_or_render(
                 snap.source(),
                 QueryKind::Score(v),
                 snap.epoch(),
@@ -1476,17 +1769,14 @@ fn route(
         }
         "/threshold" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
-            if let Some(shed) = shed_check(ctx) {
-                return Ok(shed);
-            }
             // Finite by construction: NaN would make every comparison
             // false and silently return an empty answer.
             let delta: f64 = req.require_finite("delta")?;
-            let snap = match snapshot_for(req, ctx, reader)? {
+            let (snap, ws) = match snapshot_for(req, ctx, readers)? {
                 Ok(s) => s,
                 Err(e) => return Ok(e),
             };
-            let (body, _) = ctx.cache.get_or_render(
+            let (body, _) = ctx.shards[ws].cache.get_or_render(
                 snap.source(),
                 QueryKind::Threshold(delta.to_bits()),
                 snap.epoch(),
@@ -1515,16 +1805,13 @@ fn route(
         }
         "/compare" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
-            if let Some(shed) = shed_check(ctx) {
-                return Ok(shed);
-            }
             let a: VertexId = req.require("a")?;
             let b: VertexId = req.require("b")?;
-            let snap = match snapshot_for(req, ctx, reader)? {
+            let (snap, ws) = match snapshot_for(req, ctx, readers)? {
                 Ok(s) => s,
                 Err(e) => return Ok(e),
             };
-            let (body, _) = ctx.cache.get_or_render(
+            let (body, _) = ctx.shards[ws].cache.get_or_render(
                 snap.source(),
                 QueryKind::Compare(a, b),
                 snap.epoch(),
@@ -1548,13 +1835,92 @@ fn route(
             );
             Ok(Response::new(200, body))
         }
-        "/sessions" => {
+        // Cross-shard comparison: which of two *sessions* ranks vertex
+        // `v` higher. The per-session `/compare` never leaves one
+        // engine; this one loads both sessions' snapshots — potentially
+        // owned by different write shards at different epochs — and
+        // interval-compares their estimates. Not cached: the composite
+        // key spans two epoch lines.
+        "/compare_sessions" => {
+            ctx.stats.queries.fetch_add(1, Relaxed);
+            let a: VertexId = req.require("a")?;
+            let b: VertexId = req.require("b")?;
+            let v: VertexId = req.require("v")?;
+            let n = ctx.shards.len();
+            let (wa, wb) = (shard_of(a, n), shard_of(b, n));
+            if let Some(shed) = shed_check(ctx, wa).or_else(|| shed_check(ctx, wb)) {
+                return Ok(shed);
+            }
+            let load = |source: VertexId, ws: usize| {
+                ctx.shards[ws].registry.lookup(source).map(|e| e.load(&readers[ws])).ok_or_else(
+                    || {
+                        Response::new(
+                            404,
+                            error_body(&format!("no open session for source {source}")),
+                        )
+                    },
+                )
+            };
+            let sa = match load(a, wa) {
+                Ok(s) => s,
+                Err(e) => return Ok(e),
+            };
+            let sb = match load(b, wb) {
+                Ok(s) => s,
+                Err(e) => return Ok(e),
+            };
+            let (ba, bb) = (sa.score(v), sb.score(v));
+            // Certain only when the ε-intervals are disjoint, same as
+            // the in-session compare semantics.
+            let order = if ba.lo > bb.hi {
+                "greater"
+            } else if ba.hi < bb.lo {
+                "less"
+            } else {
+                "undecidable"
+            };
             let mut j = JsonBuf::new();
             j.begin_obj();
-            j.key("capacity").uint(ctx.registry.capacity() as u64);
+            j.key("a").uint(a as u64);
+            j.key("b").uint(b as u64);
+            j.key("v").uint(v as u64);
+            j.key("epoch_a").uint(sa.epoch());
+            j.key("epoch_b").uint(sb.epoch());
+            j.key("estimate_a").num(ba.estimate);
+            j.key("estimate_b").num(bb.estimate);
+            j.key("order").str(order);
+            j.end_obj();
+            Ok(Response::new(200, j.finish()))
+        }
+        "/sessions" => {
+            // The flat `sessions` array stays merged-and-sorted across
+            // shards (the unsharded wire shape); the per-shard blocks
+            // expose the partition.
+            let mut all: Vec<VertexId> = Vec::new();
+            for s in &ctx.shards {
+                all.extend(s.registry.sources());
+            }
+            all.sort_unstable();
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("capacity")
+                .uint(ctx.shards.iter().map(|s| s.registry.capacity() as u64).sum());
             j.key("sessions").begin_arr();
-            for s in ctx.registry.sources() {
+            for s in all {
                 j.uint(s as u64);
+            }
+            j.end_arr();
+            j.key("write_shards").begin_arr();
+            for s in &ctx.shards {
+                j.begin_obj();
+                j.key("shard").uint(s.index as u64);
+                j.key("capacity").uint(s.registry.capacity() as u64);
+                j.key("sessions").begin_arr();
+                for src in s.registry.sources() {
+                    j.uint(src as u64);
+                }
+                j.end_arr();
+                j.end_obj();
             }
             j.end_arr();
             j.end_obj();
@@ -1574,21 +1940,23 @@ fn route(
             } else {
                 Control::Close(source)
             };
-            // Applied by the write loop between batches; the response
-            // acknowledges acceptance, not completion.
-            let accepted = ctl_tx.send(ctl).is_ok();
+            // Applied by the owning shard's write loop between batches;
+            // the response acknowledges acceptance, not completion.
+            let ws = shard_of(source, ctx.shards.len());
+            let accepted = ctl_txs[ws].send(ctl).is_ok();
             let mut j = JsonBuf::new();
             j.begin_obj();
             j.key("accepted").bool(accepted);
             j.key(if open { "opening" } else { "closing" }).uint(source as u64);
+            j.key("write_shard").uint(ws as u64);
             j.end_obj();
             Ok(Response::new(200, j.finish()))
         }
         "/stats" => {
-            let cache = ctx.cache.stats();
+            let cache = ctx.cache_stats();
             let mut j = JsonBuf::new();
             j.begin_obj();
-            j.key("epoch").uint(ctx.domain.epoch());
+            j.key("epoch").uint(ctx.epoch_min());
             j.key("slides").uint(ctx.stats.slides.load(Relaxed));
             j.key("updates_offered").uint(ctx.stats.updates_offered.load(Relaxed));
             j.key("updates_applied").uint(ctx.stats.updates_applied.load(Relaxed));
@@ -1596,7 +1964,7 @@ fn route(
             j.key("stream_done").bool(ctx.stats.stream_done.load(Relaxed));
             j.key("queries").uint(ctx.stats.queries.load(Relaxed));
             j.key("shed").uint(ctx.stats.shed.load(Relaxed));
-            j.key("sessions").uint(ctx.registry.len() as u64);
+            j.key("sessions").uint(ctx.sessions_len() as u64);
             j.key("sessions_opened").uint(ctx.stats.sessions_opened.load(Relaxed));
             j.key("sessions_closed").uint(ctx.stats.sessions_closed.load(Relaxed));
             j.key("sessions_evicted").uint(ctx.stats.sessions_evicted.load(Relaxed));
@@ -1611,6 +1979,7 @@ fn route(
             j.key("hits").uint(cache.hits);
             j.key("misses").uint(cache.misses);
             j.key("evictions").uint(cache.evictions);
+            j.key("stale_purged").uint(cache.stale_purged);
             j.key("hit_rate").num(cache.hit_rate());
             j.end_obj();
             j.key("durability").begin_obj();
@@ -1622,19 +1991,30 @@ fn route(
                 .uint(ctx.stats.checkpoint_failures.load(Relaxed));
             j.key("wal_records").uint(ctx.stats.wal_records.load(Relaxed));
             j.key("wal_segments").uint(ctx.stats.wal_segments.load(Relaxed));
-            let wal = *ctx.wal.lock().unwrap();
+            let wal = ctx.shards.iter().fold(WalStats::default(), |mut acc, s| {
+                let w = *s.wal.lock().unwrap();
+                acc.appends += w.appends;
+                acc.syncs += w.syncs;
+                acc.sync_nanos += w.sync_nanos;
+                acc.bytes_written += w.bytes_written;
+                acc.pruned_segments += w.pruned_segments;
+                acc
+            });
             j.key("wal_syncs").uint(wal.syncs);
             j.key("wal_bytes").uint(wal.bytes_written);
             j.key("wal_pruned_segments").uint(wal.pruned_segments);
             j.end_obj();
-            // Engine push-work counters, cumulative (refreshed per slide).
-            let engine = *ctx.engine.lock().unwrap();
+            // Engine push-work counters, cumulative, summed across write
+            // shards (each refreshed by its own write loop per slide).
+            let engine = merged_engine_fields(ctx);
             j.key("engine").begin_obj();
-            for (name, v) in engine.fields() {
+            for (name, v) in engine {
                 j.key(name).uint(v);
             }
             j.end_obj();
-            let graph = *ctx.graph.lock().unwrap();
+            // Every shard applies the identical stream, so the graphs
+            // are replicas — shard 0's occupancy stands for all.
+            let graph = *ctx.shards[0].graph.lock().unwrap();
             j.key("graph").begin_obj();
             j.key("arena_slots").uint(graph.arena_slots as u64);
             j.key("live_slots").uint(graph.live_slots as u64);
@@ -1642,9 +2022,16 @@ fn route(
             j.key("hub_vertices").uint(graph.hub_vertices as u64);
             j.key("utilization").num(graph.utilization());
             j.end_obj();
+            // The stream block reports the *laggard* shard's window —
+            // the freshness floor every session is guaranteed.
+            let laggard = ctx
+                .shards
+                .iter()
+                .min_by_key(|s| s.window_end.load(Relaxed))
+                .expect("at least one write shard");
             j.key("stream").begin_obj();
-            let end = ctx.window_end.load(Relaxed);
-            j.key("window_start").uint(ctx.window_start.load(Relaxed));
+            let end = laggard.window_end.load(Relaxed);
+            j.key("window_start").uint(laggard.window_start.load(Relaxed));
             j.key("window_end").uint(end);
             j.key("stream_len").uint(ctx.stream_len);
             j.key("fraction_consumed").num(if ctx.stream_len == 0 {
@@ -1653,6 +2040,31 @@ fn route(
                 end as f64 / ctx.stream_len as f64
             });
             j.end_obj();
+            j.key("write_shards").begin_arr();
+            for s in &ctx.shards {
+                let c = s.cache.stats();
+                j.begin_obj();
+                j.key("shard").uint(s.index as u64);
+                j.key("epoch").uint(s.domain.epoch());
+                j.key("slides").uint(s.slides.load(Relaxed));
+                j.key("sessions").uint(s.registry.len() as u64);
+                j.key("session_capacity").uint(s.registry.capacity() as u64);
+                j.key("stream_done").bool(s.stream_done.load(Relaxed));
+                j.key("degraded").bool(s.degraded.load(Relaxed));
+                j.key("durable_epoch").uint(s.durable_epoch.load(Relaxed));
+                j.key("wal_records").uint(s.wal_records.load(Relaxed));
+                j.key("wal_segments").uint(s.wal_segments.load(Relaxed));
+                j.key("window_start").uint(s.window_start.load(Relaxed));
+                j.key("window_end").uint(s.window_end.load(Relaxed));
+                j.key("cache").begin_obj();
+                j.key("hits").uint(c.hits);
+                j.key("misses").uint(c.misses);
+                j.key("evictions").uint(c.evictions);
+                j.key("stale_purged").uint(c.stale_purged);
+                j.end_obj();
+                j.end_obj();
+            }
+            j.end_arr();
             j.key("shards").begin_arr();
             for (conns, depth) in &ctx.shard_gauges {
                 j.begin_obj();
@@ -1705,20 +2117,38 @@ fn route(
     }
 }
 
+/// Element-wise sum of every write shard's engine counters, in the
+/// stable [`CounterSnapshot::fields`] order.
+fn merged_engine_fields(ctx: &Ctx) -> [(&'static str, u64); 11] {
+    let mut acc = ctx.shards[0].engine.lock().unwrap().fields();
+    for s in &ctx.shards[1..] {
+        for (slot, (_, v)) in acc.iter_mut().zip(s.engine.lock().unwrap().fields()) {
+            slot.1 += v;
+        }
+    }
+    acc
+}
+
 /// Renders the full Prometheus exposition: the registered histogram and
 /// gauge families first, then every counter that already lives in
-/// `ServerStats` / `ConnCounters` / the cache / the engine, emitted at
-/// scrape time so nothing is double-counted.
+/// `ServerStats` / `ConnCounters` / the caches / the engines, emitted at
+/// scrape time so nothing is double-counted. Cross-shard families keep
+/// their unsharded meaning (sums for counters, the freshness floor for
+/// epochs); the `dppr_write_shard_*` families expose each shard.
 fn render_metrics(ctx: &Ctx) -> String {
     let stats = &ctx.stats;
-    let cache = ctx.cache.stats();
+    let cache = ctx.cache_stats();
     let mut extra = PromText::new();
     extra.gauge_f64(
         "dppr_uptime_seconds",
         "Seconds since the instance started serving",
         ctx.start.elapsed().as_secs_f64(),
     );
-    extra.gauge_u64("dppr_epoch", "Last published epoch", ctx.domain.epoch());
+    extra.gauge_u64(
+        "dppr_epoch",
+        "Last published epoch (minimum across write shards)",
+        ctx.epoch_min(),
+    );
     extra.counter_u64("dppr_slides_total", "Window slides applied", stats.slides.load(Relaxed));
     extra.counter_u64(
         "dppr_updates_offered_total",
@@ -1740,7 +2170,7 @@ fn render_metrics(ctx: &Ctx) -> String {
         "Requests shed 503 under lag or connection pressure",
         stats.shed.load(Relaxed),
     );
-    extra.gauge_u64("dppr_sessions", "Open sessions", ctx.registry.len() as u64);
+    extra.gauge_u64("dppr_sessions", "Open sessions", ctx.sessions_len() as u64);
     extra.counter_u64(
         "dppr_sessions_opened_total",
         "Sessions opened over HTTP",
@@ -1784,18 +2214,23 @@ fn render_metrics(ctx: &Ctx) -> String {
     extra.counter_u64("dppr_cache_hits_total", "Query-cache hits", cache.hits);
     extra.counter_u64("dppr_cache_misses_total", "Query-cache misses", cache.misses);
     extra.counter_u64("dppr_cache_evictions_total", "Query-cache evictions", cache.evictions);
+    extra.counter_u64(
+        "dppr_cache_stale_purged_total",
+        "Dead-epoch cache entries purged at insert",
+        cache.stale_purged,
+    );
     extra.gauge_f64(
         "dppr_cache_hit_rate",
         "Query-cache hit rate (0 before any lookup)",
         cache.hit_rate(),
     );
-    // Engine push-work counters (the paper's operation quantities).
-    let engine = *ctx.engine.lock().unwrap();
-    for (name, v) in engine.fields() {
+    // Engine push-work counters (the paper's operation quantities),
+    // summed across write shards.
+    for (name, v) in merged_engine_fields(ctx) {
         let fam = format!("dppr_engine_{name}_total");
         extra.counter_u64(&fam, "Cumulative engine push-work counter", v);
     }
-    let graph = *ctx.graph.lock().unwrap();
+    let graph = *ctx.shards[0].graph.lock().unwrap();
     extra.gauge_u64(
         "dppr_graph_arena_slots",
         "Adjacency-arena slots (live + slack + garbage)",
@@ -1813,8 +2248,18 @@ fn render_metrics(ctx: &Ctx) -> String {
         graph.hub_vertices as u64,
     );
     extra.gauge_f64("dppr_graph_utilization", "Live fraction of the arena", graph.utilization());
-    let end = ctx.window_end.load(Relaxed);
-    extra.gauge_u64("dppr_stream_window_start", "Window start (stream position)", ctx.window_start.load(Relaxed));
+    // The laggard shard's window: the freshness floor across sessions.
+    let laggard = ctx
+        .shards
+        .iter()
+        .min_by_key(|s| s.window_end.load(Relaxed))
+        .expect("at least one write shard");
+    let end = laggard.window_end.load(Relaxed);
+    extra.gauge_u64(
+        "dppr_stream_window_start",
+        "Window start (stream position)",
+        laggard.window_start.load(Relaxed),
+    );
     extra.gauge_u64("dppr_stream_window_end", "Window end (stream position)", end);
     extra.gauge_u64("dppr_stream_len", "Total logical edges in the stream", ctx.stream_len);
     extra.gauge_f64(
@@ -1847,7 +2292,15 @@ fn render_metrics(ctx: &Ctx) -> String {
         "Checkpoint attempts that failed",
         stats.checkpoint_failures.load(Relaxed),
     );
-    let wal = *ctx.wal.lock().unwrap();
+    let wal = ctx.shards.iter().fold(WalStats::default(), |mut acc, s| {
+        let w = *s.wal.lock().unwrap();
+        acc.appends += w.appends;
+        acc.syncs += w.syncs;
+        acc.sync_nanos += w.sync_nanos;
+        acc.bytes_written += w.bytes_written;
+        acc.pruned_segments += w.pruned_segments;
+        acc
+    });
     extra.counter_u64("dppr_wal_records_total", "Records appended to the WAL", wal.appends);
     extra.counter_u64("dppr_wal_syncs_total", "WAL device flushes issued", wal.syncs);
     extra.counter_u64("dppr_wal_bytes_total", "WAL bytes written (payload + framing)", wal.bytes_written);
@@ -1871,5 +2324,66 @@ fn render_metrics(ctx: &Ctx) -> String {
         "Trace events evicted from the ring",
         ctx.metrics.trace.dropped(),
     );
+    // Per-write-shard scalar families: one labelled series per shard so
+    // a straggling, degraded, or behind-on-checkpoints shard is visible
+    // without scraping logs. (The labelled stage *histograms* come from
+    // the registry render below.)
+    struct ShardFam {
+        name: &'static str,
+        help: &'static str,
+        kind: &'static str,
+        get: fn(&WriteShardState) -> u64,
+    }
+    let fams = [
+        ShardFam {
+            name: "dppr_write_shard_epoch",
+            help: "Published epoch per write shard",
+            kind: "gauge",
+            get: |s| s.domain.epoch(),
+        },
+        ShardFam {
+            name: "dppr_write_shard_slides_total",
+            help: "Window slides applied per write shard",
+            kind: "counter",
+            get: |s| s.slides.load(Relaxed),
+        },
+        ShardFam {
+            name: "dppr_write_shard_sessions",
+            help: "Open sessions per write shard",
+            kind: "gauge",
+            get: |s| s.registry.len() as u64,
+        },
+        ShardFam {
+            name: "dppr_write_shard_durable_epoch",
+            help: "Newest durable checkpoint epoch per write shard",
+            kind: "gauge",
+            get: |s| s.durable_epoch.load(Relaxed),
+        },
+        ShardFam {
+            name: "dppr_write_shard_degraded",
+            help: "1 once the shard's WAL failed (read-only)",
+            kind: "gauge",
+            get: |s| s.degraded.load(Relaxed) as u64,
+        },
+        ShardFam {
+            name: "dppr_write_shard_stream_done",
+            help: "1 once the shard ran its stream copy dry",
+            kind: "gauge",
+            get: |s| s.stream_done.load(Relaxed) as u64,
+        },
+        ShardFam {
+            name: "dppr_write_shard_window_end",
+            help: "Window end (stream position) per write shard",
+            kind: "gauge",
+            get: |s| s.window_end.load(Relaxed),
+        },
+    ];
+    for fam in fams {
+        extra.family(fam.name, fam.help, fam.kind);
+        for s in &ctx.shards {
+            let label = ("write_shard", s.index.to_string());
+            extra.series_u64(fam.name, Some(&label), (fam.get)(s));
+        }
+    }
     ctx.metrics.registry.render_prometheus(&mut extra)
 }

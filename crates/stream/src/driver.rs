@@ -192,6 +192,17 @@ impl StreamDriver {
         self.window.slide(k)
     }
 
+    /// Slides the window forward until its end reaches exactly `end`
+    /// (one batch covering the gap), returning the raw update batch;
+    /// `None` when the window is already at or past `end`. Recovery
+    /// paths use this to close the distance between a checkpointed
+    /// window and the WAL tail in a single deterministic step.
+    pub fn slide_to(&mut self, end: usize) -> Option<Vec<dppr_graph::EdgeUpdate>> {
+        let (_, cur_end) = self.window_range();
+        let k = end.checked_sub(cur_end).filter(|k| *k > 0)?;
+        self.slide_batch(k)
+    }
+
     /// Runs up to `max_slides` slides of `k` logical edges each, stopping
     /// early when the stream is exhausted.
     pub fn run_slides(
