@@ -321,6 +321,15 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         durability: serve_durability(args)?,
         trace_sample: args.get_parsed("trace-sample", 0u64)?,
         trace_capacity: args.get_parsed("trace-capacity", 1024usize)?,
+        audit_sample: args.get_parsed("audit-sample", 0usize)?,
+        audit_interval: std::time::Duration::from_millis(
+            args.get_parsed("audit-interval-ms", 500u64)?,
+        ),
+        slo_p99: std::time::Duration::from_secs_f64(
+            args.get_finite("slo-p99-ms", 0.0)?.max(0.0) / 1e3,
+        ),
+        slo_availability: args.get_finite("slo-availability", 0.0)?,
+        slo_topk_overlap: args.get_finite("slo-topk-overlap", 0.0)?,
     };
     let run_secs: u64 = args.get_parsed("run-secs", 0u64)?;
 

@@ -72,6 +72,13 @@ COMMANDS
              [--segment-kb KB (8192)]
              [--trace-sample N (trace every Nth request/slide; 0 = off)]
              [--trace-capacity N (1024 ring-buffered events)]
+             [--audit-sample N (recompute ground truth for N live
+             sessions per tick and report dppr_audit_* error metrics;
+             0 = off)]  [--audit-interval-ms MS (500; audit/series/SLO
+             observer tick)]
+             [--slo-p99-ms MS (latency SLO target; breach sheds load)]
+             [--slo-availability F (e.g. 0.999 served fraction)]
+             [--slo-topk-overlap F (e.g. 0.9 audited top-10 overlap)]
              Connections are HTTP/1.1 keep-alive, served by poll(2)
              event-loop shards; overload answers 503 + Retry-After.
              SIGTERM/SIGINT drain connections, flush the WAL, write a
@@ -79,8 +86,11 @@ COMMANDS
              Endpoints: /topk?source=S&k=K  /score?source=S&v=V
              /threshold?source=S&delta=D  /compare?source=S&a=A&b=B
              /sessions  /session/open?source=S  /session/close?source=S
-             /stats  /healthz  /metrics (Prometheus text)
-             /trace (sampled JSON lines)  /shutdown
+             /stats  /healthz (incl. SLO burn rates)
+             /metrics (Prometheus text)
+             /trace[?limit=N&kind=request|slide] (sampled JSON lines)
+             /series[?name=N&window=S] (in-process metrics time-series)
+             /shutdown
   exact      Ground-truth PPR via Gauss–Jacobi.
              --graph FILE|--preset NAME [--undirected] --source V [--alpha A] [--top K]
   help       This text.

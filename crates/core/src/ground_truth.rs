@@ -39,6 +39,45 @@ pub fn exact_ppr(g: &DynamicGraph, source: VertexId, alpha: f64, tol: f64) -> Ve
     cur
 }
 
+/// Sequential variant of [`exact_ppr`] for callers that must not touch the
+/// rayon pool — e.g. the serve-side accuracy auditor, which runs on a single
+/// background thread and must leave the worker threads to the write loops.
+/// Identical math, identical iteration cap, plain sweep.
+pub fn exact_ppr_seq(g: &DynamicGraph, source: VertexId, alpha: f64, tol: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    assert!(tol > 0.0);
+    let n = g.num_vertices().max(source as usize + 1);
+    let mut cur = vec![0.0f64; n];
+    if (source as usize) < n {
+        cur[source as usize] = alpha;
+    }
+    let mut next = vec![0.0f64; n];
+    let max_iters = ((tol.ln() / (1.0 - alpha).ln()).ceil() as usize + 2).max(8);
+    for _ in 0..max_iters {
+        let mut delta = 0.0f64;
+        for (v, slot) in next.iter_mut().enumerate() {
+            let teleport = if v == source as usize { alpha } else { 0.0 };
+            let value = if v < g.num_vertices() && g.out_degree(v as VertexId) > 0 {
+                let sum: f64 = g
+                    .out_neighbors(v as VertexId)
+                    .iter()
+                    .map(|&x| cur[x as usize])
+                    .sum();
+                teleport + (1.0 - alpha) * sum / g.out_degree(v as VertexId) as f64
+            } else {
+                teleport
+            };
+            delta = delta.max((value - *slot).abs());
+            *slot = value;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    cur
+}
+
 /// One Jacobi sweep; returns the sup-norm change. Parallel over vertices
 /// (reads `cur`, writes disjoint slots of `next`).
 fn jacobi_step(
@@ -130,6 +169,69 @@ mod tests {
         }
         // π(s) ≥ α always (the walk can stop immediately).
         assert!(p[5] >= 0.15 - 1e-12);
+    }
+
+    #[test]
+    fn sequential_solver_matches_parallel() {
+        let edges = undirected_to_directed(&barabasi_albert(200, 3, 11));
+        let g = DynamicGraph::from_edges(edges);
+        for &(source, alpha, tol) in &[(0u32, 0.15, 1e-10), (7, 0.5, 1e-8), (150, 0.2, 1e-12)] {
+            let par = exact_ppr(&g, source, alpha, tol);
+            let seq = exact_ppr_seq(&g, source, alpha, tol);
+            assert_eq!(par.len(), seq.len());
+            let diff = par
+                .iter()
+                .zip(&seq)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            // Same iteration schedule; only FP summation order may differ.
+            assert!(diff < 1e-12, "par/seq diverge by {diff}");
+        }
+    }
+
+    #[test]
+    fn sequential_solver_edge_cases() {
+        let g = DynamicGraph::with_vertices(3);
+        assert_eq!(exact_ppr_seq(&g, 1, 0.15, 1e-12), vec![0.0, 0.15, 0.0]);
+        let g = DynamicGraph::new();
+        let p = exact_ppr_seq(&g, 4, 0.5, 1e-12);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[4], 0.5);
+    }
+
+    #[test]
+    fn audited_replay_respects_epsilon_contract() {
+        // The oracle the serve-side auditor trusts: maintained estimates
+        // after a mixed insert/delete stream must stay within ε of the
+        // sequential exact solve on the final graph — for every source.
+        use crate::multi::MultiSourcePpr;
+        use crate::PushVariant;
+        use dppr_graph::EdgeUpdate;
+        let (alpha, eps) = (0.2, 1e-3);
+        let mut g = DynamicGraph::new();
+        let mut multi = MultiSourcePpr::new(&[0, 5, 17], alpha, eps, PushVariant::OPT);
+        let edges = undirected_to_directed(&barabasi_albert(120, 3, 5));
+        for chunk in edges.chunks(150) {
+            let batch: Vec<EdgeUpdate> =
+                chunk.iter().map(|&(u, v)| EdgeUpdate::insert(u, v)).collect();
+            multi.apply_batch(&mut g, &batch);
+        }
+        // Retract an early slice, as a sliding window would.
+        let dels: Vec<EdgeUpdate> =
+            edges.iter().take(80).map(|&(u, v)| EdgeUpdate::delete(u, v)).collect();
+        multi.apply_batch(&mut g, &dels);
+        for i in 0..multi.num_sources() {
+            let s = multi.source(i);
+            let exact = exact_ppr_seq(&g, s, alpha, eps * 1e-3);
+            let est = multi.state(i).estimates();
+            let linf = (0..exact.len().max(est.len()))
+                .map(|v| {
+                    (exact.get(v).copied().unwrap_or(0.0) - est.get(v).copied().unwrap_or(0.0))
+                        .abs()
+                })
+                .fold(0.0f64, f64::max);
+            assert!(linf <= eps + 1e-9, "source {s}: audited error {linf} > eps {eps}");
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use checksum::{crc32, Crc32};
 pub use config::{Phase, PprConfig};
 pub use counters::{CounterSnapshot, Counters};
 pub use engine::{BatchStats, DynamicPprEngine, ParallelEngine, SeqEngine, UpdateMode};
-pub use ground_truth::exact_ppr;
+pub use ground_truth::{exact_ppr, exact_ppr_seq};
 pub use invariant::{apply_update, max_invariant_violation, restore_invariant};
 pub use multi::MultiSourcePpr;
 pub use par::PushOpts;

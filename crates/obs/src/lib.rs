@@ -10,14 +10,23 @@
 //!   histograms) with Prometheus text-format exposition.
 //! - [`trace`]: every-Nth sampling and a bounded JSON-lines ring for
 //!   end-to-end request/slide traces.
+//! - [`series`]: a fixed-capacity ring of periodic metric snapshots
+//!   with windowed last/min/max/avg/rate queries — the substrate the
+//!   SLO burn-rate evaluation and `/series` endpoint read from.
+//! - [`process`]: best-effort `/proc/self` gauges (RSS, open fds,
+//!   thread count).
 //!
 //! Nothing here knows about PPR, HTTP, or the WAL — the serving layer
 //! owns metric names and trace schemas; this crate owns the mechanics.
 
 pub mod hist;
+pub mod process;
 pub mod registry;
+pub mod series;
 pub mod trace;
 
 pub use hist::{bounds, bucket_index, HistSnapshot, Histogram, LocalHistogram};
+pub use process::ProcessStats;
 pub use registry::{escape_label_value, Counter, Gauge, PromText, Registry, Unit};
+pub use series::{SeriesRing, SeriesWindow};
 pub use trace::{Sampler, TraceRing};

@@ -146,36 +146,77 @@ impl Registry {
         })
     }
 
+    /// Number of distinct metric families registered so far.
+    pub fn family_count(&self) -> usize {
+        let entries = self.entries.lock().unwrap();
+        let mut names: Vec<&'static str> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
     /// Render every registered metric in Prometheus text format.
     /// `extra` lets the caller append families computed at scrape time
     /// (values that already live elsewhere, like `ServerStats` atomics)
     /// without double-registering them.
+    ///
+    /// The registry lock is held only while values are *snapshotted*;
+    /// all text formatting happens on the owned snapshot afterwards, so
+    /// a slow scrape never blocks registration (and the lock's critical
+    /// section stays O(metrics), not O(output bytes)).
     pub fn render_prometheus(&self, extra: &mut PromText) -> String {
+        struct Snap {
+            name: &'static str,
+            help: &'static str,
+            label: Option<(&'static str, String)>,
+            value: ValueSnap,
+        }
+        enum ValueSnap {
+            Counter(u64),
+            Gauge(i64),
+            Histogram(HistSnapshot, Unit),
+        }
+        let snaps: Vec<Snap> = {
+            let entries = self.entries.lock().unwrap();
+            entries
+                .iter()
+                .map(|e| Snap {
+                    name: e.name,
+                    help: e.help,
+                    label: e.label.clone(),
+                    value: match &e.metric {
+                        Metric::Counter(c) => ValueSnap::Counter(c.get()),
+                        Metric::Gauge(g) => ValueSnap::Gauge(g.get()),
+                        Metric::Histogram(h, unit) => ValueSnap::Histogram(h.snapshot(), *unit),
+                    },
+                })
+                .collect()
+        };
+        // Lock released; group by family preserving first-registration
+        // order, then format.
         let mut out = PromText::new();
-        // Group by family, preserving first-registration order.
-        let entries = self.entries.lock().unwrap();
         let mut order: Vec<&'static str> = Vec::new();
-        let mut families: BTreeMap<&'static str, Vec<&Entry>> = BTreeMap::new();
-        for e in entries.iter() {
-            if !families.contains_key(e.name) {
-                order.push(e.name);
+        let mut families: BTreeMap<&'static str, Vec<&Snap>> = BTreeMap::new();
+        for s in snaps.iter() {
+            if !families.contains_key(s.name) {
+                order.push(s.name);
             }
-            families.entry(e.name).or_default().push(e);
+            families.entry(s.name).or_default().push(s);
         }
         for name in order {
             let group = &families[name];
             let first = group[0];
-            match &first.metric {
-                Metric::Counter(_) => out.family(name, first.help, "counter"),
-                Metric::Gauge(_) => out.family(name, first.help, "gauge"),
-                Metric::Histogram(..) => out.family(name, first.help, "histogram"),
+            match &first.value {
+                ValueSnap::Counter(_) => out.family(name, first.help, "counter"),
+                ValueSnap::Gauge(_) => out.family(name, first.help, "gauge"),
+                ValueSnap::Histogram(..) => out.family(name, first.help, "histogram"),
             }
-            for e in group {
-                match &e.metric {
-                    Metric::Counter(c) => out.series_u64(name, e.label.as_ref(), c.get()),
-                    Metric::Gauge(g) => out.series_i64(name, e.label.as_ref(), g.get()),
-                    Metric::Histogram(h, unit) => {
-                        out.histogram_labeled(name, e.label.as_ref(), &h.snapshot(), *unit)
+            for s in group {
+                match &s.value {
+                    ValueSnap::Counter(v) => out.series_u64(name, s.label.as_ref(), *v),
+                    ValueSnap::Gauge(v) => out.series_i64(name, s.label.as_ref(), *v),
+                    ValueSnap::Histogram(snap, unit) => {
+                        out.histogram_labeled(name, s.label.as_ref(), snap, *unit)
                     }
                 }
             }
@@ -212,6 +253,11 @@ impl PromText {
         Self::default()
     }
 
+    /// The text accumulated so far.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
     /// Emit the `# HELP` / `# TYPE` header for a family.
     pub fn family(&mut self, name: &str, help: &str, kind: &str) {
         let _ = writeln!(self.text, "# HELP {name} {help}");
@@ -239,6 +285,33 @@ impl PromText {
         } else {
             let _ = writeln!(self.text, "{name}{} NaN", Self::label_str(label));
         }
+    }
+
+    fn labels_str(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+        }
+        out.push('}');
+        out
+    }
+
+    /// A series line with arbitrary label pairs, e.g.
+    /// `slo_burn_rate{slo="latency_p99",window="fast"} 1.4`.
+    pub fn series_f64_multi(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let rendered = if v.is_finite() { v } else { f64::NAN };
+        let _ = writeln!(self.text, "{name}{} {rendered}", Self::labels_str(labels));
+    }
+
+    /// [`PromText::series_f64_multi`] for integer-valued series.
+    pub fn series_u64_multi(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let _ = writeln!(self.text, "{name}{} {v}", Self::labels_str(labels));
     }
 
     /// One-line helpers for ad-hoc families (header + single series).
@@ -339,6 +412,30 @@ mod tests {
         assert!(text.contains("t_lat_seconds_sum 1\n"));
         assert!(r.histogram_snapshot("t_lat_seconds").is_some());
         assert!(r.histogram_snapshot("nope").is_none());
+    }
+
+    #[test]
+    fn multi_label_series_render_all_pairs() {
+        let mut t = PromText::new();
+        t.family("t_burn", "burn rates", "gauge");
+        t.series_f64_multi("t_burn", &[("slo", "latency_p99"), ("window", "fast")], 1.25);
+        t.series_u64_multi("t_burn_total", &[("slo", "a\"b")], 3);
+        t.series_f64_multi("t_plain", &[], 0.5);
+        let text = t.text;
+        assert!(text.contains("t_burn{slo=\"latency_p99\",window=\"fast\"} 1.25\n"));
+        assert!(text.contains("t_burn_total{slo=\"a\\\"b\"} 3\n"));
+        assert!(text.contains("t_plain 0.5\n"));
+    }
+
+    #[test]
+    fn family_count_dedupes_labeled_series() {
+        let r = Registry::new();
+        assert_eq!(r.family_count(), 0);
+        r.counter("t_a_total", "a");
+        r.gauge_with_label("t_b", "b", "shard", "0");
+        r.gauge_with_label("t_b", "b", "shard", "1");
+        r.histogram("t_c_seconds", "c", Unit::Nanos);
+        assert_eq!(r.family_count(), 3);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! In-process metrics time-series: a fixed-capacity ring of periodic
+//! snapshots of selected metric values.
+//!
+//! The serving layer decides *what* to sample (counter values, gauge
+//! readings, windowed histogram percentiles) and *when* (its audit
+//! ticker); this module owns the mechanics: a bounded ring of
+//! `(timestamp, values)` rows over a fixed name list, plus windowed
+//! queries — last/min/max/avg over the points in a trailing window and
+//! an endpoint-delta rate for counter-shaped series. SLO burn-rate
+//! evaluation and the `/series` endpoint both read through
+//! [`SeriesRing::window`], so the same numbers drive health decisions
+//! and dashboards.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One sampled row: every series' value at one instant.
+#[derive(Clone, Debug)]
+struct Sample {
+    at_nanos: u64,
+    values: Vec<f64>,
+}
+
+/// Fixed-capacity ring of periodic samples over a fixed set of series
+/// names. Pushing past capacity drops the oldest row.
+pub struct SeriesRing {
+    names: Vec<&'static str>,
+    cap: usize,
+    samples: Mutex<VecDeque<Sample>>,
+}
+
+/// Aggregates over the points of one series inside a query window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesWindow {
+    /// `(at_nanos, value)` pairs, oldest first.
+    pub points: Vec<(u64, f64)>,
+    pub last: f64,
+    pub min: f64,
+    pub max: f64,
+    pub avg: f64,
+    /// Endpoint delta per second: `(last − first) / Δt`. Meaningful for
+    /// counter-shaped series; 0 when the window holds fewer than two
+    /// points or spans no time.
+    pub rate_per_sec: f64,
+}
+
+impl SeriesRing {
+    /// `names` fixes the column set; every pushed row must supply one
+    /// value per name. `cap` bounds the number of retained rows.
+    pub fn new(names: Vec<&'static str>, cap: usize) -> Self {
+        SeriesRing { names, cap: cap.max(1), samples: Mutex::new(VecDeque::new()) }
+    }
+
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|&n| n == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the newest row, if any.
+    pub fn latest_at_nanos(&self) -> Option<u64> {
+        self.samples.lock().unwrap().back().map(|s| s.at_nanos)
+    }
+
+    /// Append one row. Panics if `values` does not match the name list
+    /// — a bug in the sampler, not a runtime condition.
+    pub fn push(&self, at_nanos: u64, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.names.len(),
+            "series row width {} != name count {}",
+            values.len(),
+            self.names.len()
+        );
+        let mut samples = self.samples.lock().unwrap();
+        if samples.len() == self.cap {
+            samples.pop_front();
+        }
+        samples.push_back(Sample { at_nanos, values });
+    }
+
+    /// Points of `name` with `at_nanos >= newest − window_nanos`,
+    /// aggregated. `None` when the name is unknown or no rows exist.
+    /// `window_nanos == 0` means "everything retained".
+    pub fn window(&self, name: &str, window_nanos: u64) -> Option<SeriesWindow> {
+        let idx = self.index_of(name)?;
+        let samples = self.samples.lock().unwrap();
+        let newest = samples.back()?.at_nanos;
+        let cutoff = if window_nanos == 0 { 0 } else { newest.saturating_sub(window_nanos) };
+        let points: Vec<(u64, f64)> = samples
+            .iter()
+            .filter(|s| s.at_nanos >= cutoff)
+            .map(|s| (s.at_nanos, s.values[idx]))
+            .collect();
+        drop(samples);
+        Some(Self::aggregate(points))
+    }
+
+    /// Like [`SeriesRing::window`] but over the newest `count` rows
+    /// regardless of their timestamps — the shape burn-rate windows
+    /// want ("last 5 ticks"), immune to ticker jitter.
+    pub fn last_n(&self, name: &str, count: usize) -> Option<SeriesWindow> {
+        let idx = self.index_of(name)?;
+        let samples = self.samples.lock().unwrap();
+        if samples.is_empty() {
+            return None;
+        }
+        let skip = samples.len().saturating_sub(count.max(1));
+        let points: Vec<(u64, f64)> =
+            samples.iter().skip(skip).map(|s| (s.at_nanos, s.values[idx])).collect();
+        drop(samples);
+        Some(Self::aggregate(points))
+    }
+
+    fn aggregate(points: Vec<(u64, f64)>) -> SeriesWindow {
+        if points.is_empty() {
+            return SeriesWindow::default();
+        }
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+        for &(_, v) in &points {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let (first_t, first_v) = points[0];
+        let (last_t, last_v) = points[points.len() - 1];
+        let dt = last_t.saturating_sub(first_t) as f64 / 1e9;
+        let rate = if points.len() >= 2 && dt > 0.0 { (last_v - first_v) / dt } else { 0.0 };
+        SeriesWindow {
+            last: last_v,
+            min,
+            max,
+            avg: sum / points.len() as f64,
+            rate_per_sec: rate,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> SeriesRing {
+        SeriesRing::new(vec!["reqs", "p99"], 4)
+    }
+
+    #[test]
+    fn push_and_window_aggregates() {
+        let r = ring();
+        assert!(r.is_empty());
+        assert!(r.window("reqs", 0).is_none());
+        r.push(1_000_000_000, vec![10.0, 0.5]);
+        r.push(2_000_000_000, vec![30.0, 0.7]);
+        r.push(3_000_000_000, vec![90.0, 0.6]);
+        let w = r.window("reqs", 0).unwrap();
+        assert_eq!(w.points.len(), 3);
+        assert_eq!(w.last, 90.0);
+        assert_eq!(w.min, 10.0);
+        assert_eq!(w.max, 90.0);
+        assert!((w.avg - 130.0 / 3.0).abs() < 1e-12);
+        // (90 − 10) over 2 seconds.
+        assert!((w.rate_per_sec - 40.0).abs() < 1e-12);
+        let p = r.window("p99", 0).unwrap();
+        assert_eq!(p.max, 0.7);
+        assert_eq!(p.last, 0.6);
+    }
+
+    #[test]
+    fn window_cutoff_trims_old_points() {
+        let r = ring();
+        for i in 1..=4u64 {
+            r.push(i * 1_000_000_000, vec![i as f64, 0.0]);
+        }
+        // Window of 1.5s from newest (t=4s) keeps t=3s and t=4s.
+        let w = r.window("reqs", 1_500_000_000).unwrap();
+        assert_eq!(w.points.len(), 2);
+        assert_eq!(w.points[0].1, 3.0);
+        assert!((w.rate_per_sec - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let r = ring();
+        for i in 0..6u64 {
+            r.push(i, vec![i as f64, 0.0]);
+        }
+        assert_eq!(r.len(), 4);
+        let w = r.window("reqs", 0).unwrap();
+        assert_eq!(w.points[0].1, 2.0);
+        assert_eq!(r.latest_at_nanos(), Some(5));
+    }
+
+    #[test]
+    fn last_n_ignores_timestamps() {
+        let r = ring();
+        r.push(0, vec![1.0, 0.0]);
+        r.push(1, vec![2.0, 0.0]);
+        r.push(2, vec![4.0, 0.0]);
+        let w = r.last_n("reqs", 2).unwrap();
+        assert_eq!(w.points.len(), 2);
+        assert_eq!(w.min, 2.0);
+        // Asking for more rows than retained returns them all.
+        assert_eq!(r.last_n("reqs", 99).unwrap().points.len(), 3);
+        assert!(r.last_n("nope", 2).is_none());
+    }
+
+    #[test]
+    fn unknown_name_and_width_mismatch() {
+        let r = ring();
+        r.push(0, vec![0.0, 0.0]);
+        assert!(r.window("nope", 0).is_none());
+        assert_eq!(r.index_of("p99"), Some(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.push(1, vec![0.0]);
+        }));
+        assert!(result.is_err(), "short row must panic");
+    }
+
+    #[test]
+    fn single_point_has_zero_rate() {
+        let r = ring();
+        r.push(5, vec![7.0, 0.0]);
+        let w = r.window("reqs", 0).unwrap();
+        assert_eq!(w.rate_per_sec, 0.0);
+        assert_eq!(w.last, 7.0);
+        assert_eq!(w.avg, 7.0);
+    }
+}

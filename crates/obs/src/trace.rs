@@ -72,9 +72,27 @@ impl TraceRing {
 
     /// The buffered events, oldest first, as one JSON-lines string.
     pub fn dump(&self) -> String {
+        self.dump_with(usize::MAX, |_| true)
+    }
+
+    /// The newest `limit` events whose line passes `keep`, oldest
+    /// first. The predicate sees the raw JSON line — callers own the
+    /// schema, so e.g. a kind filter is `|l| l.contains("\"event\":\"slide\"")`.
+    pub fn dump_with(&self, limit: usize, mut keep: impl FnMut(&str) -> bool) -> String {
         let lines = self.lines.lock().unwrap();
-        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-        for l in lines.iter() {
+        // Walk newest→oldest so `limit` keeps the most recent matches,
+        // then emit in chronological order.
+        let mut kept: Vec<&String> = Vec::new();
+        for l in lines.iter().rev() {
+            if kept.len() >= limit {
+                break;
+            }
+            if keep(l) {
+                kept.push(l);
+            }
+        }
+        let mut out = String::with_capacity(kept.iter().map(|l| l.len() + 1).sum());
+        for l in kept.iter().rev() {
             out.push_str(l);
             out.push('\n');
         }
@@ -105,5 +123,24 @@ mod tests {
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
         assert_eq!(r.dump(), "{\"i\":2}\n{\"i\":3}\n{\"i\":4}\n");
+    }
+
+    #[test]
+    fn filtered_dump_keeps_newest_matches_in_order() {
+        let r = TraceRing::new(8);
+        for i in 0..6 {
+            let kind = if i % 2 == 0 { "request" } else { "slide" };
+            r.push(format!("{{\"event\":\"{kind}\",\"i\":{i}}}"));
+        }
+        // Newest 2 requests, chronological.
+        let out = r.dump_with(2, |l| l.contains("\"event\":\"request\""));
+        assert_eq!(out, "{\"event\":\"request\",\"i\":2}\n{\"event\":\"request\",\"i\":4}\n");
+        // Limit only.
+        let out = r.dump_with(1, |_| true);
+        assert_eq!(out, "{\"event\":\"slide\",\"i\":5}\n");
+        // No matches → empty string.
+        assert_eq!(r.dump_with(10, |l| l.contains("nope")), "");
+        // dump() delegates through the unfiltered path.
+        assert_eq!(r.dump().lines().count(), 6);
     }
 }

@@ -42,9 +42,15 @@
 //!   records are truncated away).
 //! * [`signals`] — SIGTERM/SIGINT → graceful shutdown: drain in-flight
 //!   connections, flush the WAL, write a final checkpoint.
+//! * [`audit`] — the observer thread: online accuracy audits against a
+//!   sequential ground-truth solve (`dppr_audit_*`), the in-process
+//!   metrics time-series behind `GET /series`, and SLO burn-rate
+//!   evaluation (`dppr_slo_*`, the `/healthz` degraded reason, and the
+//!   latency-breach shed flag).
 //!
 //! Start one with [`start`]; drive it with `dppr serve` from the CLI.
 
+pub mod audit;
 pub mod cache;
 pub mod conn;
 pub mod durability;

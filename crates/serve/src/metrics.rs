@@ -24,6 +24,11 @@
 //! | `dppr_checkpoint_seconds` | histogram | checkpoint serialization + rename |
 //! | `dppr_shard_connections{shard=…}` | gauge | live connections per shard |
 //! | `dppr_shard_queue_depth{shard=…}` | gauge | accept hand-off backlog per shard |
+//! | `dppr_audit_l1_error` | histogram | audited L1 error vs ground truth (×1e9 encoding) |
+//! | `dppr_audit_linf_error` | histogram | audited L∞ error — the ε contract (×1e9 encoding) |
+//! | `dppr_audit_topk_overlap{k=…}` | histogram | audited top-k overlap (×1e9 encoding) |
+//! | `dppr_audit_solve_seconds` | histogram | ground-truth solve per audited session |
+//! | `dppr_metrics_scrape_seconds` | histogram | `/metrics` render time (self-observation) |
 //!
 //! With `--write-shards N` each write loop additionally registers its own
 //! labelled stage family (`dppr_shard_slide_apply_seconds{write_shard=…}`
@@ -47,6 +52,19 @@ pub struct ServerMetrics {
     pub wal_append: Arc<Histogram>,
     pub wal_fsync: Arc<Histogram>,
     pub checkpoint: Arc<Histogram>,
+    /// Audited per-session L1 error, recorded ×1e9 (natural units).
+    pub audit_l1: Arc<Histogram>,
+    /// Audited per-session L∞ error, recorded ×1e9 (natural units).
+    pub audit_linf: Arc<Histogram>,
+    /// Audited top-10 overlap (0..1), recorded ×1e9 (natural units).
+    pub audit_overlap10: Arc<Histogram>,
+    /// Audited top-50 overlap (0..1), recorded ×1e9 (natural units).
+    pub audit_overlap50: Arc<Histogram>,
+    /// Ground-truth solve wall time per audited session.
+    pub audit_solve: Arc<Histogram>,
+    /// `/metrics` render duration (self-observation; a scrape sees the
+    /// previous scrape's cost).
+    pub metrics_scrape: Arc<Histogram>,
     /// End-to-end structured trace events (`GET /trace`).
     pub trace: TraceRing,
     /// Every-Nth request tracing.
@@ -125,6 +143,45 @@ impl ServerMetrics {
             "Checkpoint write duration (serialize, fsync, rename)",
             Unit::Nanos,
         );
+        // The audit error/overlap families reuse the nanos-unit bucket
+        // layout as a natural-units encoding: values are recorded ×1e9,
+        // so a rendered bound of 0.001 means an L1 error of 1e-3 (or an
+        // overlap of 0.001). This keeps the log-scale buckets dense
+        // exactly where ε-scale errors live.
+        let audit_l1 = registry.histogram(
+            "dppr_audit_l1_error",
+            "Audited L1 distance between published estimates and ground truth (recorded x1e9)",
+            Unit::Nanos,
+        );
+        let audit_linf = registry.histogram(
+            "dppr_audit_linf_error",
+            "Audited max per-vertex error vs ground truth; the paper's epsilon contract (recorded x1e9)",
+            Unit::Nanos,
+        );
+        let audit_overlap10 = registry.histogram_with_label(
+            "dppr_audit_topk_overlap",
+            "Audited top-k overlap between published and ground-truth rankings (recorded x1e9)",
+            Unit::Nanos,
+            "k",
+            "10",
+        );
+        let audit_overlap50 = registry.histogram_with_label(
+            "dppr_audit_topk_overlap",
+            "Audited top-k overlap between published and ground-truth rankings (recorded x1e9)",
+            Unit::Nanos,
+            "k",
+            "50",
+        );
+        let audit_solve = registry.histogram(
+            "dppr_audit_solve_seconds",
+            "Sequential ground-truth solve wall time per audited session",
+            Unit::Nanos,
+        );
+        let metrics_scrape = registry.histogram(
+            "dppr_metrics_scrape_seconds",
+            "Time spent rendering /metrics (visible from the next scrape)",
+            Unit::Nanos,
+        );
         ServerMetrics {
             registry,
             http_request,
@@ -138,6 +195,12 @@ impl ServerMetrics {
             wal_append,
             wal_fsync,
             checkpoint,
+            audit_l1,
+            audit_linf,
+            audit_overlap10,
+            audit_overlap50,
+            audit_solve,
+            metrics_scrape,
             trace: TraceRing::new(trace_capacity),
             trace_requests: Sampler::new(trace_sample),
             trace_slides: Sampler::new(trace_sample),

@@ -103,6 +103,26 @@ pub struct ServeConfig {
     /// registry, query cache, epoch domain, and (with durability on) its
     /// own WAL directory and checkpoints under `data_dir/shard-<i>/`.
     pub write_shards: usize,
+    /// Accuracy auditing: recompute ground-truth PPR for up to this many
+    /// live sessions per audit tick (round-robin across write shards)
+    /// and report estimate error as `dppr_audit_*` families. 0 disables
+    /// auditing (the observer still samples the metrics time-series).
+    pub audit_sample: usize,
+    /// Observer tick period: the audit cadence, the time-series sampling
+    /// period, and the SLO burn-rate evaluation interval.
+    pub audit_interval: Duration,
+    /// Latency SLO: target p99 for `dppr_http_request_seconds` per
+    /// observer tick. Breaching the fast burn window sheds query
+    /// traffic and flips `/healthz` to degraded. Zero disables.
+    pub slo_p99: Duration,
+    /// Availability SLO target as a success fraction (e.g. 0.999): the
+    /// shed ratio `shed/requests` burns against the `1 − target` error
+    /// budget. Zero disables.
+    pub slo_availability: f64,
+    /// Accuracy SLO: minimum audited top-10 overlap (e.g. 0.9). Burns
+    /// against the `1 − target` budget. Zero disables (and it only
+    /// fires when auditing is on).
+    pub slo_topk_overlap: f64,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +145,11 @@ impl Default for ServeConfig {
             trace_sample: 0,
             trace_capacity: 1024,
             write_shards: 1,
+            audit_sample: 0,
+            audit_interval: Duration::from_millis(500),
+            slo_p99: Duration::ZERO,
+            slo_availability: 0.0,
+            slo_topk_overlap: 0.0,
         }
     }
 }
@@ -271,9 +296,15 @@ pub struct ServeReport {
     pub write_shards: usize,
 }
 
-enum Control {
+pub(crate) enum Control {
     Open(VertexId),
     Close(VertexId),
+    /// Accuracy-audit probe from the observer thread: the owning write
+    /// loop (between batches, so its graph matches the published epoch)
+    /// clones the graph plus up to `max_sessions` sessions' published
+    /// snapshots and live states into an [`AuditJob`] and replies. The
+    /// expensive ground-truth solve happens on the observer thread.
+    Audit { max_sessions: usize, reply: SyncSender<crate::audit::AuditJob> },
 }
 
 /// Everything one write shard owns: its epoch domain, session registry,
@@ -281,72 +312,86 @@ enum Control {
 /// and `/metrics` merge across shards. The engine, graph, and WAL live
 /// on the shard's writer thread; the mutexed snapshots here are
 /// refreshed by that thread after every slide.
-struct WriteShardState {
-    index: usize,
-    domain: Arc<EpochDomain>,
-    registry: Arc<SessionRegistry>,
-    cache: Arc<QueryCache>,
+pub(crate) struct WriteShardState {
+    pub(crate) index: usize,
+    pub(crate) domain: Arc<EpochDomain>,
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) cache: Arc<QueryCache>,
     /// Slides this shard applied (the global counter sums all shards).
-    slides: AtomicU64,
+    pub(crate) slides: AtomicU64,
     /// Start-relative nanos (+1) of this shard's in-flight slide; 0
     /// while idle. Shedding is per shard: only queries routed to a
     /// lagging shard are answered 503.
-    slide_started_ns: AtomicU64,
+    pub(crate) slide_started_ns: AtomicU64,
     /// Whether this shard ran its stream copy dry.
-    stream_done: AtomicBool,
+    pub(crate) stream_done: AtomicBool,
     /// True once this shard's WAL failed (shard serves read-only).
-    degraded: AtomicBool,
-    degraded_reason: Mutex<Option<String>>,
+    pub(crate) degraded: AtomicBool,
+    pub(crate) degraded_reason: Mutex<Option<String>>,
     /// Epoch of this shard's newest durable checkpoint.
-    durable_epoch: AtomicU64,
+    pub(crate) durable_epoch: AtomicU64,
     /// Start-relative nanos (+1) of this shard's last WAL fsync.
-    last_fsync_ns: AtomicU64,
-    wal_records: AtomicU64,
-    wal_segments: AtomicU64,
+    pub(crate) last_fsync_ns: AtomicU64,
+    pub(crate) wal_records: AtomicU64,
+    pub(crate) wal_segments: AtomicU64,
     /// Engine push-work counters, refreshed per slide.
-    engine: Mutex<CounterSnapshot>,
+    pub(crate) engine: Mutex<CounterSnapshot>,
     /// Adjacency-substrate occupancy, refreshed per slide.
-    graph: Mutex<SubstrateStats>,
+    pub(crate) graph: Mutex<SubstrateStats>,
     /// WAL counters as of the last append/sync.
-    wal: Mutex<WalStats>,
+    pub(crate) wal: Mutex<WalStats>,
     /// This shard's window bounds in logical stream positions.
-    window_start: AtomicU64,
-    window_end: AtomicU64,
+    pub(crate) window_start: AtomicU64,
+    pub(crate) window_end: AtomicU64,
+    /// Round-robin cursor over this shard's sessions for audit probes
+    /// (advanced by the write loop each time it serves an audit).
+    pub(crate) audit_cursor: AtomicU64,
     /// Labelled `{write_shard="i"}` stage histograms.
-    stage: WriteShardStages,
+    pub(crate) stage: WriteShardStages,
 }
 
-/// State shared by the shards, the acceptor, and the write loops.
-struct Ctx {
+/// State shared by the shards, the acceptor, the write loops, and the
+/// audit/SLO observer.
+pub(crate) struct Ctx {
     /// One entry per write shard; length ≥ 1.
-    shards: Vec<Arc<WriteShardState>>,
-    stats: Arc<ServerStats>,
-    conn: Arc<ConnCounters>,
-    shutdown: Arc<AtomicBool>,
-    addr: SocketAddr,
+    pub(crate) shards: Vec<Arc<WriteShardState>>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) conn: Arc<ConnCounters>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) addr: SocketAddr,
     /// Instance birth; `slide_started_ns` is relative to this.
-    start: Instant,
+    pub(crate) start: Instant,
     /// See [`ServeConfig::shed_after`].
-    shed_after: Duration,
+    pub(crate) shed_after: Duration,
     /// One past the largest vertex id the stream will ever mention; the
     /// upper bound for `/session/open` requests (an unchecked id would
     /// make `cold_start` allocate `source + 1` slots — a single request
     /// naming vertex 4e9 must not OOM the server).
-    vertex_bound: usize,
+    pub(crate) vertex_bound: usize,
     /// Whether this instance runs with a WAL + checkpoints.
-    durability_enabled: bool,
+    pub(crate) durability_enabled: bool,
     /// Pipeline histograms, trace ring, and the metric registry.
-    metrics: Arc<ServerMetrics>,
+    pub(crate) metrics: Arc<ServerMetrics>,
     /// Per-shard `(connections, queue_depth)` gauges, indexed by shard.
-    shard_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)>,
+    pub(crate) shard_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)>,
     /// Total logical edges in the stream (constant per instance).
-    stream_len: u64,
+    pub(crate) stream_len: u64,
+    /// Accuracy-audit scalars published by the observer thread.
+    pub(crate) audit: Arc<crate::audit::AuditShared>,
+    /// SLO burn-rate state (targets, burn gauges, breach counters, the
+    /// latency shed flag).
+    pub(crate) slo: Arc<crate::audit::SloEngine>,
+    /// The in-process metrics time-series (`GET /series`).
+    pub(crate) series: Arc<dppr_obs::SeriesRing>,
+    /// Observer tick period (`/series` reports it so dashboards can
+    /// convert rows to wall time).
+    pub(crate) audit_interval: Duration,
 }
 
 impl Ctx {
     /// Nanoseconds write shard `ws`'s in-flight slide has been running,
     /// or `None` while that shard is between slides.
-    fn slide_in_flight(&self, ws: &WriteShardState) -> Option<Duration> {
+    pub(crate) fn slide_in_flight(&self, ws: &WriteShardState) -> Option<Duration> {
         match ws.slide_started_ns.load(Relaxed) {
             0 => None,
             marker => {
@@ -357,32 +402,32 @@ impl Ctx {
     }
 
     /// Whether queries routed to write shard `ws` should be shed.
-    fn lagging(&self, ws: &WriteShardState) -> bool {
+    pub(crate) fn lagging(&self, ws: &WriteShardState) -> bool {
         !self.shed_after.is_zero()
             && self.slide_in_flight(ws).is_some_and(|d| d > self.shed_after)
     }
 
     /// Whether any write shard is currently behind (`/healthz`).
-    fn any_lagging(&self) -> bool {
+    pub(crate) fn any_lagging(&self) -> bool {
         self.shards.iter().any(|s| self.lagging(s))
     }
 
     /// The epoch every shard has published through — the instance-level
     /// epoch. (Unsharded: the one shard's epoch, unchanged semantics.)
-    fn epoch_min(&self) -> u64 {
+    pub(crate) fn epoch_min(&self) -> u64 {
         self.shards.iter().map(|s| s.domain.epoch()).min().unwrap_or(0)
     }
 
     /// Re-derives the global durable epoch (min across shards) after any
     /// shard checkpoints: the instance is only durable through an epoch
     /// every shard has checkpointed or logged past.
-    fn refresh_durable_epoch(&self) {
+    pub(crate) fn refresh_durable_epoch(&self) {
         let min = self.shards.iter().map(|s| s.durable_epoch.load(Relaxed)).min().unwrap_or(0);
         self.stats.durable_epoch.store(min, Relaxed);
     }
 
     /// Global stream-done flag: set once every shard ran its copy dry.
-    fn refresh_stream_done(&self) {
+    pub(crate) fn refresh_stream_done(&self) {
         if self.shards.iter().all(|s| s.stream_done.load(Relaxed)) {
             self.stats.stream_done.store(true, Relaxed);
         }
@@ -390,7 +435,7 @@ impl Ctx {
 
     /// Re-derives the global WAL totals (sums) and the oldest-flush
     /// marker after any shard appends or syncs.
-    fn refresh_wal_totals(&self) {
+    pub(crate) fn refresh_wal_totals(&self) {
         let mut records = 0;
         let mut segments = 0;
         let mut oldest = u64::MAX;
@@ -408,14 +453,14 @@ impl Ctx {
     }
 
     /// Merged cache counters across every shard's query cache.
-    fn cache_stats(&self) -> CacheStats {
+    pub(crate) fn cache_stats(&self) -> CacheStats {
         self.shards
             .iter()
             .fold(CacheStats::default(), |acc, s| acc.merge(&s.cache.stats()))
     }
 
     /// Open sessions across all shards.
-    fn sessions_len(&self) -> usize {
+    pub(crate) fn sessions_len(&self) -> usize {
         self.shards.iter().map(|s| s.registry.len()).sum()
     }
 }
@@ -678,6 +723,7 @@ pub fn start(
             wal: Mutex::new(WalStats::default()),
             window_start: AtomicU64::new(ws as u64),
             window_end: AtomicU64::new(we as u64),
+            audit_cursor: AtomicU64::new(0),
             stage: metrics.write_shard_stages(i),
         }));
         dcfgs.push(dcfg);
@@ -723,6 +769,10 @@ pub fn start(
         metrics: Arc::clone(&metrics),
         shard_gauges,
         stream_len,
+        audit: Arc::new(crate::audit::AuditShared::new(&cfg)),
+        slo: Arc::new(crate::audit::SloEngine::new(&cfg)),
+        series: Arc::new(crate::audit::new_series_ring()),
+        audit_interval: cfg.audit_interval.max(Duration::from_millis(10)),
     });
 
     // --- per-shard background checkpointer + write loop -------------------
@@ -788,6 +838,12 @@ pub fn start(
         gates.push(shard.gate()?);
         shards.push(shard);
     }
+    // --- audit + SLO observer --------------------------------------------
+    // Always spawned: it samples the metrics time-series and evaluates
+    // SLO burn rates every tick; the (optional) accuracy audit rides the
+    // same ticker. It keeps its own control handles so audit probes can
+    // reach the write loops.
+    writers.push(crate::audit::spawn_observer(Arc::clone(&ctx), ctl_txs.clone(), &cfg)?);
     drop(ctl_txs);
 
     // --- acceptor ---------------------------------------------------------
@@ -1260,12 +1316,17 @@ fn write_loop(
     // Baseline for per-slide counter deltas (push convergence metrics);
     // the boot/recovery work is already in the cumulative snapshot.
     let mut prev_counters = multi.counters().snapshot();
+    // Epoch reader for audit probes: loading a session's published
+    // snapshot must pin an epoch like any other reader. The domain is
+    // sized `threads + 4`, so the write loop's own reader fits in the
+    // slack.
+    let reader = shard.domain.register_reader();
     loop {
         if ctx.shutdown.load(SeqCst) {
             break;
         }
         while let Ok(ctl) = ctl_rx.try_recv() {
-            handle_control(ctl, &mut driver, &mut multi, &ctx, &shard);
+            handle_control(ctl, &mut driver, &mut multi, &ctx, &shard, &reader);
         }
         // Retention follows the background checkpointer: once a newer
         // checkpoint is durable, append its marker and drop the WAL
@@ -1281,7 +1342,7 @@ fn write_loop(
             // failure → read-only): serve from the frozen epoch, but stay
             // responsive to session control and shutdown.
             match ctl_rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(ctl) => handle_control(ctl, &mut driver, &mut multi, &ctx, &shard),
+                Ok(ctl) => handle_control(ctl, &mut driver, &mut multi, &ctx, &shard, &reader),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -1501,6 +1562,7 @@ fn handle_control(
     multi: &mut MultiSourcePpr,
     ctx: &Ctx,
     shard: &WriteShardState,
+    reader: &Reader,
 ) {
     match ctl {
         Control::Open(s) => {
@@ -1522,6 +1584,36 @@ fn handle_control(
                 remove_maintained(multi, s);
                 ctx.stats.sessions_closed.fetch_add(1, Relaxed);
             }
+        }
+        Control::Audit { max_sessions, reply } => {
+            // Between batches the graph, the live states, and the
+            // published snapshots are mutually consistent — clone them
+            // all here and let the observer pay for the exact solve.
+            let sources = shard.registry.sources();
+            let take = max_sessions.min(sources.len());
+            let cursor = shard.audit_cursor.fetch_add(take as u64, Relaxed) as usize;
+            let mut sessions = Vec::with_capacity(take);
+            for k in 0..take {
+                let source = sources[(cursor + k) % sources.len()];
+                let (Some(entry), Some(i)) =
+                    (shard.registry.peek(source), multi.index_of(source))
+                else {
+                    continue; // raced with a close; skip
+                };
+                sessions.push(crate::audit::AuditSession {
+                    source,
+                    snapshot: entry.load(reader),
+                    state: multi.state(i).clone_values(),
+                });
+            }
+            let job = crate::audit::AuditJob {
+                epoch: shard.domain.epoch(),
+                graph: driver.graph().clone(),
+                sessions,
+            };
+            // The observer may have timed out and gone away; that's its
+            // problem, not the write loop's.
+            let _ = reply.send(job);
         }
     }
 }
@@ -1636,6 +1728,17 @@ fn snapshot_for(
 /// Shedding is per shard — a straggler does not shed traffic for
 /// sessions owned by healthy shards.
 fn shed_check(ctx: &Ctx, ws: usize) -> Option<Response> {
+    // A fast-window latency SLO breach sheds globally: the error budget
+    // is burning now, and queries are the load we can refuse.
+    if ctx.slo.shed.load(Relaxed) {
+        ctx.stats.shed.fetch_add(1, Relaxed);
+        return Some(Response {
+            status: 503,
+            body: error_body("latency SLO fast burn; shedding load").into(),
+            retry_after: Some(1),
+            content_type: None,
+        });
+    }
     if !ctx.lagging(&ctx.shards[ws]) {
         return None;
     }
@@ -1658,18 +1761,34 @@ fn route(
 ) -> Result<Response, String> {
     match req.path.as_str() {
         "/healthz" => {
+            let wal_degraded = ctx.stats.degraded.load(Relaxed);
+            let slo_breaching = ctx.slo.any_breaching();
             let mut j = JsonBuf::new();
             j.begin_obj();
             j.key("ok").bool(true);
             j.key("epoch").uint(ctx.epoch_min());
-            j.key("degraded").bool(ctx.stats.degraded.load(Relaxed));
-            // WAL health: why the instance went read-only (null while
-            // healthy) and how stale the oldest shard's durable flush is.
+            j.key("degraded").bool(wal_degraded || slo_breaching);
+            // Why the instance is degraded (null while healthy): a WAL
+            // failure (read-only serving) wins over an SLO burn.
             j.key("degraded_reason");
-            match ctx.stats.degraded_reason.lock().unwrap().as_deref() {
+            let wal_reason = ctx.stats.degraded_reason.lock().unwrap().as_deref().map(String::from);
+            match wal_reason.or_else(|| ctx.slo.breach_reason()).as_deref() {
                 Some(reason) => j.str(reason),
                 None => j.null(),
             };
+            // Per-SLO burn-rate detail (empty array with no targets).
+            j.key("slos").begin_arr();
+            for (spec, st) in ctx.slo.specs.iter().zip(&ctx.slo.status) {
+                j.begin_obj();
+                j.key("name").str(spec.name);
+                j.key("target").num(spec.target);
+                j.key("burn_fast").num(st.burn_fast.get());
+                j.key("burn_slow").num(st.burn_slow.get());
+                j.key("breaching").bool(st.breaching.load(Relaxed));
+                j.key("breaches_total").uint(st.breaches.load(Relaxed));
+                j.end_obj();
+            }
+            j.end_arr();
             j.key("last_fsync_age_seconds");
             match ctx.stats.last_fsync_ns.load(Relaxed) {
                 0 => j.null(),
@@ -1698,16 +1817,91 @@ fn route(
             j.end_obj();
             Ok(Response::new(200, j.finish()))
         }
-        "/metrics" => Ok(Response::with_content_type(
-            200,
-            PROMETHEUS_CONTENT_TYPE,
-            render_metrics(ctx),
-        )),
-        "/trace" => Ok(Response::with_content_type(
-            200,
-            "application/x-ndjson",
-            ctx.metrics.trace.dump(),
-        )),
+        "/metrics" => {
+            // Self-observation: time the render and count families. The
+            // duration lands in a registered histogram, so it shows up
+            // on the *next* scrape — acceptable for a gauge of scrape
+            // cost, and it keeps this scrape's text consistent.
+            let t = Instant::now();
+            let mut text = render_metrics(ctx);
+            let families = text.matches("# TYPE ").count() as u64 + 1;
+            let mut tail = PromText::new();
+            tail.gauge_u64(
+                "dppr_metrics_families",
+                "Metric families in this exposition (including this one)",
+                families,
+            );
+            text.push_str(tail.as_str());
+            ctx.metrics.metrics_scrape.record(t.elapsed().as_nanos() as u64);
+            Ok(Response::with_content_type(200, PROMETHEUS_CONTENT_TYPE, text))
+        }
+        "/trace" => {
+            let limit: usize = req.parsed_or("limit", usize::MAX)?;
+            let body = match req.param("kind") {
+                None => ctx.metrics.trace.dump_with(limit, |_| true),
+                Some("request") => ctx
+                    .metrics
+                    .trace
+                    .dump_with(limit, |l| l.contains("\"event\":\"request\"")),
+                Some("slide") => ctx
+                    .metrics
+                    .trace
+                    .dump_with(limit, |l| l.contains("\"event\":\"slide\"")),
+                Some(other) => {
+                    return Err(format!("unknown trace kind {other:?} (request|slide)"))
+                }
+            };
+            Ok(Response::with_content_type(200, "application/x-ndjson", body))
+        }
+        "/series" => {
+            let interval_ms = ctx.audit_interval.as_secs_f64() * 1e3;
+            match req.param("name") {
+                None => {
+                    // Catalog: the column set plus sampling geometry.
+                    let mut j = JsonBuf::new();
+                    j.begin_obj();
+                    j.key("interval_ms").num(interval_ms);
+                    j.key("samples").uint(ctx.series.len() as u64);
+                    j.key("names").begin_arr();
+                    for name in ctx.series.names() {
+                        j.str(name);
+                    }
+                    j.end_arr();
+                    j.end_obj();
+                    Ok(Response::new(200, j.finish()))
+                }
+                Some(name) => {
+                    let window_s: f64 = req.parsed_finite_or("window", 60.0)?;
+                    let window_nanos = (window_s.max(0.0) * 1e9) as u64;
+                    let Some(w) = ctx.series.window(name, window_nanos) else {
+                        return Ok(Response::new(
+                            404,
+                            error_body(&format!("unknown series {name}")),
+                        ));
+                    };
+                    let mut j = JsonBuf::new();
+                    j.begin_obj();
+                    j.key("name").str(name);
+                    j.key("window_seconds").num(window_s);
+                    j.key("interval_ms").num(interval_ms);
+                    j.key("last").num(w.last);
+                    j.key("min").num(w.min);
+                    j.key("max").num(w.max);
+                    j.key("avg").num(w.avg);
+                    j.key("rate_per_sec").num(w.rate_per_sec);
+                    j.key("points").begin_arr();
+                    for (at, v) in &w.points {
+                        j.begin_arr();
+                        j.num(*at as f64 / 1e9);
+                        j.num(*v);
+                        j.end_arr();
+                    }
+                    j.end_arr();
+                    j.end_obj();
+                    Ok(Response::new(200, j.finish()))
+                }
+            }
+        }
         "/topk" => {
             ctx.stats.queries.fetch_add(1, Relaxed);
             let k: usize = req.parsed_or("k", 10)?;
@@ -2099,6 +2293,46 @@ fn route(
             j.key("buffered").uint(m.trace.len() as u64);
             j.key("dropped").uint(m.trace.dropped());
             j.end_obj();
+            // Accuracy-audit scalars (zeros while auditing is off).
+            let a = &ctx.audit;
+            j.key("audit").begin_obj();
+            j.key("enabled").bool(a.enabled);
+            j.key("sample").uint(a.sample as u64);
+            j.key("runs").uint(a.runs.load(Relaxed));
+            j.key("sessions_audited").uint(a.sessions_audited.load(Relaxed));
+            j.key("bound_violations").uint(a.bound_violations.load(Relaxed));
+            j.key("cpu_seconds").num(a.cpu_nanos.load(Relaxed) as f64 / 1e9);
+            j.key("last_epoch").uint(a.last_epoch.load(Relaxed));
+            j.key("staleness_epochs").uint(a.staleness_epochs.load(Relaxed));
+            j.key("last_l1_error").num(a.last_l1.get());
+            j.key("last_linf_error").num(a.last_linf.get());
+            j.key("max_linf_error").num(a.max_linf.get());
+            j.key("last_topk_overlap_10").num(a.last_overlap10.get());
+            j.key("last_topk_overlap_50").num(a.last_overlap50.get());
+            j.key("last_invariant_residual").num(a.last_residual.get());
+            j.end_obj();
+            j.key("slos").begin_arr();
+            for (spec, st) in ctx.slo.specs.iter().zip(&ctx.slo.status) {
+                j.begin_obj();
+                j.key("name").str(spec.name);
+                j.key("target").num(spec.target);
+                j.key("burn_fast").num(st.burn_fast.get());
+                j.key("burn_slow").num(st.burn_slow.get());
+                j.key("breaching").bool(st.breaching.load(Relaxed));
+                j.key("breaches_total").uint(st.breaches.load(Relaxed));
+                j.end_obj();
+            }
+            j.end_arr();
+            let proc = dppr_obs::ProcessStats::sample();
+            j.key("process").begin_obj();
+            j.key("rss_bytes").uint(proc.rss_bytes);
+            j.key("open_fds").uint(proc.open_fds);
+            j.key("threads").uint(proc.threads);
+            j.end_obj();
+            j.key("series").begin_obj();
+            j.key("interval_ms").num(ctx.audit_interval.as_secs_f64() * 1e3);
+            j.key("samples").uint(ctx.series.len() as u64);
+            j.end_obj();
             j.end_obj();
             Ok(Response::new(200, j.finish()))
         }
@@ -2313,6 +2547,104 @@ fn render_metrics(ctx: &Ctx) -> String {
         "dppr_wal_segments",
         "Live WAL segments (sealed + active)",
         stats.wal_segments.load(Relaxed),
+    );
+    // Accuracy-audit scalars (the error *distributions* are the
+    // registered dppr_audit_* histograms below).
+    let audit = &ctx.audit;
+    extra.gauge_u64(
+        "dppr_audit_enabled",
+        "1 when online accuracy auditing is configured",
+        audit.enabled as u64,
+    );
+    extra.counter_u64("dppr_audit_runs_total", "Audit ticks completed", audit.runs.load(Relaxed));
+    extra.counter_u64(
+        "dppr_audit_sessions_total",
+        "Sessions audited against ground truth",
+        audit.sessions_audited.load(Relaxed),
+    );
+    extra.counter_u64(
+        "dppr_audit_bound_violations_total",
+        "Audited sessions whose max error exceeded the epsilon contract",
+        audit.bound_violations.load(Relaxed),
+    );
+    extra.family(
+        "dppr_audit_cpu_seconds_total",
+        "Observer wall time spent auditing (clone-free side only)",
+        "counter",
+    );
+    extra.series_f64("dppr_audit_cpu_seconds_total", None, audit.cpu_nanos.load(Relaxed) as f64 / 1e9);
+    extra.gauge_u64(
+        "dppr_audit_last_epoch",
+        "Epoch of the newest completed audit",
+        audit.last_epoch.load(Relaxed),
+    );
+    extra.gauge_u64(
+        "dppr_audit_staleness_epochs",
+        "Shard epoch minus audited epoch at last report",
+        audit.staleness_epochs.load(Relaxed),
+    );
+    extra.gauge_f64(
+        "dppr_audit_last_linf_error",
+        "Max per-vertex error in the newest audit",
+        audit.last_linf.get(),
+    );
+    extra.gauge_f64(
+        "dppr_audit_max_linf_error",
+        "Largest per-vertex error ever audited",
+        audit.max_linf.get(),
+    );
+    extra.gauge_f64(
+        "dppr_audit_invariant_residual",
+        "Largest Eq. 2 invariant violation in the newest audit",
+        audit.last_residual.get(),
+    );
+    // SLO burn rates: one {slo,window} series per target and window.
+    if !ctx.slo.specs.is_empty() {
+        extra.family(
+            "dppr_slo_burn_rate",
+            "Error-budget burn rate per SLO and window (>= 1 on the fast window is a breach)",
+            "gauge",
+        );
+        for (spec, st) in ctx.slo.specs.iter().zip(&ctx.slo.status) {
+            extra.series_f64_multi(
+                "dppr_slo_burn_rate",
+                &[("slo", spec.name), ("window", "fast")],
+                st.burn_fast.get(),
+            );
+            extra.series_f64_multi(
+                "dppr_slo_burn_rate",
+                &[("slo", spec.name), ("window", "slow")],
+                st.burn_slow.get(),
+            );
+        }
+        extra.family(
+            "dppr_slo_breaching",
+            "1 while the SLO's fast-window burn is at or above 1",
+            "gauge",
+        );
+        extra.family("dppr_slo_breach_total", "Healthy-to-breaching transitions per SLO", "counter");
+        for (spec, st) in ctx.slo.specs.iter().zip(&ctx.slo.status) {
+            extra.series_u64_multi(
+                "dppr_slo_breaching",
+                &[("slo", spec.name)],
+                st.breaching.load(Relaxed) as u64,
+            );
+            extra.series_u64_multi(
+                "dppr_slo_breach_total",
+                &[("slo", spec.name)],
+                st.breaches.load(Relaxed),
+            );
+        }
+    }
+    // Process-level gauges out of /proc/self (all 0 without procfs).
+    let proc = dppr_obs::ProcessStats::sample();
+    extra.gauge_u64("dppr_process_rss_bytes", "Resident set size", proc.rss_bytes);
+    extra.gauge_u64("dppr_process_open_fds", "Open file descriptors", proc.open_fds);
+    extra.gauge_u64("dppr_process_threads", "OS threads", proc.threads);
+    extra.gauge_u64(
+        "dppr_metrics_series_samples",
+        "Rows retained by the in-process metrics time-series",
+        ctx.series.len() as u64,
     );
     extra.gauge_u64(
         "dppr_trace_buffered",
